@@ -1,0 +1,61 @@
+"""Benchmark regenerating Table 2: bulk vs one-at-a-time RPC × cache.
+
+Run with::
+
+    pytest benchmarks/bench_table2.py --benchmark-only
+
+Each benchmark executes one cell of Table 2 on the simulated network;
+the simulated milliseconds (the paper-comparable number) land in
+``extra_info["simulated_ms"]`` and the full grid prints at the end.
+"""
+
+import pytest
+
+from repro.experiments.table2 import Table2Experiment
+
+_EXPERIMENT = Table2Experiment(iterations=(1, 1000))
+
+_CELLS = [
+    ("one-at-a-time", False, 1),
+    ("one-at-a-time", False, 1000),
+    ("bulk", False, 1),
+    ("bulk", False, 1000),
+    ("one-at-a-time", True, 1),
+    ("one-at-a-time", True, 1000),
+    ("bulk", True, 1),
+    ("bulk", True, 1000),
+]
+
+
+@pytest.mark.parametrize("mechanism,cache,iterations", _CELLS)
+def test_table2_cell(benchmark, mechanism, cache, iterations):
+    simulated_ms = benchmark.pedantic(
+        _EXPERIMENT.measure,
+        args=(mechanism, cache, iterations),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["simulated_ms"] = simulated_ms
+    benchmark.extra_info["cell"] = f"{mechanism} cache={cache} $x={iterations}"
+
+    # Shape guards (the paper's headline relations).
+    if mechanism == "bulk" and iterations == 1000 and cache:
+        assert simulated_ms < 50, "warm bulk RPC must stay in the few-ms range"
+    if mechanism == "one-at-a-time" and iterations == 1000:
+        assert simulated_ms > 1000, "per-call latency must accumulate"
+
+
+def test_table2_grid(benchmark, report):
+    """Regenerate and print the whole Table 2 grid."""
+    rows = benchmark.pedantic(_EXPERIMENT.run, rounds=1, iterations=1)
+    rendered = Table2Experiment.render(rows)
+    report(rendered)
+    benchmark.extra_info["table"] = [
+        (r.mechanism, r.function_cache, r.iterations, round(r.milliseconds, 2))
+        for r in rows
+    ]
+    by_key = {(r.mechanism, r.function_cache, r.iterations): r.milliseconds
+              for r in rows}
+    # Paper shape: bulk ~flat in $x; one-at-a-time ~linear in $x.
+    assert by_key[("bulk", True, 1000)] < 20 * by_key[("bulk", True, 1)]
+    assert by_key[("one-at-a-time", True, 1000)] > \
+        500 * by_key[("one-at-a-time", True, 1)]

@@ -1,0 +1,46 @@
+"""Benchmark regenerating Table 3: wrapper latency decomposition.
+
+Measures the wrapped Saxon-profile engine handling echoVoid and
+getPerson requests with 1 and 1000 calls; the compile/treebuild/exec
+phase split lands in ``extra_info``.
+"""
+
+import pytest
+
+from repro.experiments.table3 import Table3Experiment
+from repro.workloads.xmark import XMarkConfig
+
+_EXPERIMENT = Table3Experiment(calls=(1, 1000),
+                               xmark=XMarkConfig(persons=3000))
+
+
+@pytest.mark.parametrize("method,calls", [
+    ("echoVoid", 1),
+    ("echoVoid", 1000),
+    ("getPerson", 1),
+    ("getPerson", 1000),
+])
+def test_table3_cell(benchmark, method, calls):
+    row = benchmark.pedantic(
+        _EXPERIMENT.measure, args=(method, calls), rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "function": method,
+        "calls": calls,
+        "total_ms": round(row.total_ms, 2),
+        "compile_ms": round(row.compile_ms, 2),
+        "treebuild_ms": round(row.treebuild_ms, 2),
+        "exec_ms": round(row.exec_ms, 2),
+    })
+
+
+def test_table3_full(benchmark, report):
+    rows = benchmark.pedantic(_EXPERIMENT.run, rounds=1, iterations=1)
+    report(Table3Experiment.render(rows))
+
+    by_key = {(r.function, r.calls): r for r in rows}
+    single = by_key[("getPerson", 1)]
+    many = by_key[("getPerson", 1000)]
+    # Bulk-as-join: exec grows far sublinearly in the number of calls.
+    assert many.exec_ms < 200 * max(single.exec_ms, 0.05)
+    # Compile cost is per-request, not per-call.
+    assert many.compile_ms < single.compile_ms * 10 + 10.0

@@ -1,0 +1,32 @@
+"""Benchmark for the section 3.3 throughput experiment.
+
+Checks the CPU-bound asymmetry the paper reports: the request path
+(bounded by shredding, ~8 MB/s there) is slower than the response path
+(bounded by serialization, ~14 MB/s).
+"""
+
+import pytest
+
+from repro.experiments.throughput import ThroughputExperiment
+
+
+@pytest.mark.parametrize("direction", ["request", "response"])
+def test_throughput_direction(benchmark, direction):
+    experiment = ThroughputExperiment(rows_per_payload=4000)
+    row = benchmark.pedantic(
+        experiment.measure, args=(direction,), rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "direction": direction,
+        "payload_mb": round(row.payload_bytes / 1e6, 2),
+        "mb_per_second": round(row.mb_per_second, 2),
+    })
+    assert row.payload_bytes > 100_000
+
+
+def test_throughput_asymmetry(benchmark, report):
+    experiment = ThroughputExperiment(rows_per_payload=4000)
+    rows = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(ThroughputExperiment.render(rows))
+    request = next(r for r in rows if r.direction == "request")
+    response = next(r for r in rows if r.direction == "response")
+    assert response.mb_per_second > request.mb_per_second

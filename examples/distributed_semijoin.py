@@ -1,0 +1,47 @@
+"""Distributed query strategies for Q7 (section 5 of the paper).
+
+Distributes an XMark-like dataset over two peers — persons on a
+MonetDB-profile peer A, auctions on a Saxon-profile peer B reachable
+only through the XRPC wrapper — and runs the join query Q7 under all
+four strategies, printing the Table-4-style comparison.
+
+Run::
+
+    python examples/distributed_semijoin.py [--scale small|paper]
+"""
+
+import sys
+
+from repro.experiments.table4 import Table4Experiment
+from repro.strategies import STRATEGY_NAMES, build_strategy_query
+from repro.workloads.xmark import XMarkConfig
+
+
+def main() -> None:
+    scale = "paper" if "--scale" in sys.argv and "paper" in sys.argv else "small"
+    if scale == "paper":
+        config = XMarkConfig(persons=250, closed_auctions=4875, matches=6)
+    else:
+        config = XMarkConfig(persons=50, closed_auctions=600, matches=6)
+
+    print(f"Scale: {config.persons} persons, "
+          f"{config.closed_auctions} closed auctions, "
+          f"{config.matches} buyer matches\n")
+
+    print("The four strategy rewrites (what actually ships):\n")
+    for strategy in STRATEGY_NAMES:
+        print(f"--- {strategy} " + "-" * (50 - len(strategy)))
+        print(build_strategy_query(strategy, "B").strip(), "\n")
+
+    experiment = Table4Experiment(xmark=config, mode="modeled")
+    rows = experiment.run()
+    print(Table4Experiment.render(rows))
+    print()
+    fastest = min(rows, key=lambda row: row.total_ms)
+    print(f"Winner: {fastest.strategy} "
+          f"({fastest.total_ms:.0f} ms modeled, "
+          f"{fastest.bytes_shipped / 1024:.1f} KB shipped)")
+
+
+if __name__ == "__main__":
+    main()

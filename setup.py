@@ -1,0 +1,19 @@
+"""Setuptools entry point.
+
+A plain setup.py is kept so editable installs work in offline
+environments whose setuptools lacks PEP 660 support (no `wheel` package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'XRPC: Interoperable and Efficient Distributed "
+        "XQuery' (Zhang & Boncz, VLDB 2007)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

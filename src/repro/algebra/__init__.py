@@ -1,0 +1,24 @@
+"""Relational algebra over iter|pos|item tables (Table 1 of the paper).
+
+MonetDB/XQuery represents every XQuery sequence as a relational table
+with schema ``pos|item`` (``iter|pos|item`` once loop-lifted), and the
+Pathfinder compiler emits plans over a vanilla relational algebra.  This
+package implements that algebra:
+
+========  =====================================================
+σ         select rows where a boolean column is true
+π         project + rename (no duplicate removal)
+δ         duplicate elimination
+∪         disjoint union
+⋈         equi-join
+ρ         row numbering (DENSE_RANK), optional partitioning
+table     literal table
+========  =====================================================
+
+plus the two Pathfinder helpers every real plan needs: ``attach``
+(constant column) and ``fun`` (row-wise computed column).
+"""
+
+from repro.algebra.table import Table
+
+__all__ = ["Table"]

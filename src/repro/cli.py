@@ -1,0 +1,125 @@
+"""Command-line XQuery runner.
+
+Runs an XQuery (from a file or ``-e`` inline) against documents and
+modules mounted from the filesystem — the single-peer face of the
+library, handy for experimenting with the engine and the XRPC syntax::
+
+    python -m repro.cli -e 'doc("db.xml")//name' --doc db.xml=films.xml
+    python -m repro.cli query.xq --module film.xq --doc filmDB.xml=films.xml
+
+Documents are mounted as ``uri=path`` (or just ``path``, using the file
+name as URI); ``--module`` registers library modules so ``import
+module`` resolves.  Updating queries apply their pending update list and
+``--save uri=path`` writes the post-state back out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import XRPCReproError
+from repro.rpc.store import DocumentStore
+from repro.xml.serializer import serialize, serialize_sequence
+from repro.xquery.evaluator import evaluate_query
+from repro.xquery.modules import ModuleRegistry
+
+
+def _split_mount(spec: str) -> tuple[str, str]:
+    """Parse ``uri=path`` (or bare ``path``) mount specifications."""
+    if "=" in spec:
+        uri, _, path = spec.partition("=")
+        return uri, path
+    return Path(spec).name, spec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Run an XQuery against mounted documents and modules.")
+    parser.add_argument("query", nargs="?",
+                        help="path to an .xq file with the main module")
+    parser.add_argument("-e", "--expression",
+                        help="inline query text (alternative to a file)")
+    parser.add_argument("--doc", action="append", default=[],
+                        metavar="URI=PATH",
+                        help="mount an XML document (repeatable)")
+    parser.add_argument("--module", action="append", default=[],
+                        metavar="[LOCATION=]PATH",
+                        help="register a library module (repeatable)")
+    parser.add_argument("--var", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="bind an external string variable (repeatable)")
+    parser.add_argument("--save", action="append", default=[],
+                        metavar="URI=PATH",
+                        help="write a (possibly updated) document back out")
+    parser.add_argument("--indent", action="store_true",
+                        help="pretty-print node results")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if bool(args.query) == bool(args.expression):
+        parser.error("provide exactly one of a query file or -e EXPRESSION")
+    if args.expression:
+        source = args.expression
+    else:
+        source = Path(args.query).read_text(encoding="utf-8")
+
+    registry = ModuleRegistry()
+    for spec in args.module:
+        location, path = _split_mount(spec)
+        registry.register_source(Path(path).read_text(encoding="utf-8"),
+                                 location=location)
+
+    store = DocumentStore()
+    for spec in args.doc:
+        uri, path = _split_mount(spec)
+        store.register(uri, Path(path).read_text(encoding="utf-8"))
+
+    variables = {}
+    for spec in args.var:
+        name, _, value = spec.partition("=")
+        from repro.xdm.atomic import string as make_string
+        variables[name] = [make_string(value)]
+
+    try:
+        result = evaluate_query(
+            source,
+            registry=registry,
+            doc_resolver=store.get,
+            variables=variables or None,
+            put_store=store.put,
+        )
+    except XRPCReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.indent:
+        from repro.xdm.nodes import Node
+        pieces = []
+        for item in result:
+            if isinstance(item, Node):
+                pieces.append(serialize(item, indent=True))
+            else:
+                pieces.append(item.string_value())
+        output = "\n".join(pieces)
+    else:
+        output = serialize_sequence(result)
+    if output:
+        print(output)
+
+    for spec in args.save:
+        uri, path = _split_mount(spec)
+        Path(path).write_text(
+            serialize(store.get(uri), xml_declaration=True) + "\n",
+            encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

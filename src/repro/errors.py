@@ -1,0 +1,83 @@
+"""Common error hierarchy for the XRPC reproduction.
+
+XQuery defines a structured error taxonomy (``err:XPST0003`` for static
+syntax errors, ``err:XPDY0002`` for dynamic context errors, ...).  We keep
+the same code strings so error behaviour is recognisable to XQuery users,
+and add XRPC-specific codes for protocol-level faults.
+"""
+
+from __future__ import annotations
+
+
+class XRPCReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class XQueryError(XRPCReproError):
+    """An XQuery static, dynamic, or type error with a W3C-style code.
+
+    Parameters
+    ----------
+    code:
+        W3C error code such as ``"XPST0003"`` (without the ``err:`` prefix).
+    message:
+        Human-readable description.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(f"[{code}] {message}")
+
+
+class StaticError(XQueryError):
+    """Error detected during parsing / static analysis (XPST*)."""
+
+
+class DynamicError(XQueryError):
+    """Error raised during evaluation (XPDY*, FO*)."""
+
+
+class TypeError_(XQueryError):
+    """XQuery type error (XPTY*).
+
+    Named with a trailing underscore to avoid shadowing the built-in.
+    """
+
+
+class UpdateError(XQueryError):
+    """XQuery Update Facility error (XUST*, XUDY*)."""
+
+
+class XRPCFault(XRPCReproError):
+    """A SOAP Fault returned by (or raised at) an XRPC peer.
+
+    Mirrors the paper's error handling: any remote error immediately stops
+    execution and surfaces as a run-time error at the originating site.
+
+    Parameters
+    ----------
+    fault_code:
+        SOAP fault code, e.g. ``"env:Sender"`` or ``"env:Receiver"``.
+    reason:
+        Human-readable fault reason text.
+    """
+
+    def __init__(self, fault_code: str, reason: str) -> None:
+        self.fault_code = fault_code
+        self.reason = reason
+        super().__init__(f"{fault_code}: {reason}")
+
+
+class TransportError(XRPCReproError):
+    """Failure at the network transport layer (peer unreachable, etc.)."""
+
+
+class IsolationError(XRPCFault):
+    """Raised when a request references an expired or unknown queryID."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__("env:Sender", reason)
+
+
+class TransactionError(XRPCReproError):
+    """2PC / WS-AtomicTransaction protocol failure (conflict, abort, ...)."""

@@ -1,0 +1,29 @@
+"""Experiment harnesses regenerating every evaluation artifact.
+
+========  ==============================================================
+T2        Table 2 — bulk vs one-at-a-time RPC × function cache (echoVoid)
+T3        Table 3 — Saxon-profile latency via the XRPC wrapper
+T4        Table 4 — Q7 under four distribution strategies
+TP        section 3.3 prose — request/response throughput
+F1        Figures 1/2 — loop-lifted Bulk RPC translation (correctness)
+========  ==============================================================
+
+Each experiment returns structured rows and can render the same table
+the paper prints; ``python -m repro.experiments`` runs them all.
+"""
+
+from repro.experiments.table2 import Table2Experiment, Table2Row
+from repro.experiments.table3 import Table3Experiment, Table3Row
+from repro.experiments.table4 import Table4Experiment, Table4Row
+from repro.experiments.throughput import ThroughputExperiment, ThroughputRow
+
+__all__ = [
+    "Table2Experiment",
+    "Table2Row",
+    "Table3Experiment",
+    "Table3Row",
+    "Table4Experiment",
+    "Table4Row",
+    "ThroughputExperiment",
+    "ThroughputRow",
+]

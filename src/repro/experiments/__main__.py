@@ -1,0 +1,52 @@
+"""Run every experiment and print the paper-shaped tables.
+
+Usage::
+
+    python -m repro.experiments [--quick]
+
+``--quick`` runs reduced workload scales (useful as a smoke test);
+without it, the default scales match the regime discussed in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    Table2Experiment,
+    Table3Experiment,
+    Table4Experiment,
+    ThroughputExperiment,
+)
+from repro.workloads.xmark import XMarkConfig
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+
+    table2 = Table2Experiment(iterations=(1, 100) if quick else (1, 1000))
+    print(Table2Experiment.render(table2.run()))
+    print()
+
+    table3 = Table3Experiment(
+        calls=(1, 100) if quick else (1, 1000),
+        xmark=XMarkConfig(persons=500 if quick else 5000))
+    print(Table3Experiment.render(table3.run()))
+    print()
+
+    table4 = Table4Experiment(
+        xmark=XMarkConfig(persons=50, closed_auctions=400, matches=6)
+        if quick else
+        XMarkConfig(persons=250, closed_auctions=4875, matches=6))
+    print(Table4Experiment.render(table4.run()))
+    print()
+
+    throughput = ThroughputExperiment(
+        rows_per_payload=500 if quick else 5000)
+    print(ThroughputExperiment.render(throughput.run()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,110 @@
+"""Table 3 — Saxon-profile latency via the XRPC wrapper (section 4).
+
+The wrapped TreeEngine (Saxon stand-in) has no plan cache, so its
+latency decomposes into *compile* (query translation — constant in the
+number of calls), *treebuild* (parsing the stored request document —
+grows with request size) and *exec* (running the generated query).
+
+The paper's headline observations, which this harness must reproduce in
+shape:
+
+* echoVoid: 1000 calls cost ~2x one call in total, not 1000x;
+* getPerson: bulk turns a per-call selection into a join (the engine
+  builds a hash index), so exec grows only a few x for 1000 calls.
+
+Network cost is excluded, as in the paper ("we focus here on the
+internal Saxon timings ... and disregard network communication cost").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine import TreeEngine
+from repro.soap import XRPCRequest, build_request, parse_response
+from repro.workloads.modules import GETPERSON_MODULE, GETPERSON_MODULE_LOCATION
+from repro.workloads.xmark import XMarkConfig, generate_persons
+from repro.wrapper import XRPCWrapper
+from repro.xdm.atomic import string
+
+
+@dataclass
+class Table3Row:
+    function: str        # "echoVoid" | "getPerson"
+    calls: int           # $x
+    total_ms: float
+    compile_ms: float
+    treebuild_ms: float
+    exec_ms: float
+
+
+class Table3Experiment:
+    """Regenerates Table 3 against a wrapped Saxon-profile engine."""
+
+    def __init__(self, calls: tuple[int, ...] = (1, 1000),
+                 xmark: XMarkConfig | None = None) -> None:
+        self.calls = calls
+        # A person-heavy document: big enough that the single-call
+        # selection cost is visible against per-call marshaling overhead
+        # (the paper used a 50 MB XMark document).
+        self.xmark = xmark or XMarkConfig(persons=5000)
+
+    def _make_wrapper(self) -> XRPCWrapper:
+        wrapper = XRPCWrapper(engine=TreeEngine())
+        wrapper.engine.registry.register_source(
+            GETPERSON_MODULE, location=GETPERSON_MODULE_LOCATION)
+        wrapper.register_document("auctions.xml",
+                                  generate_persons(self.xmark))
+        return wrapper
+
+    def _request(self, method: str, calls: int) -> str:
+        if method == "echoVoid":
+            request = XRPCRequest(module="functions", method="echoVoid",
+                                  arity=0,
+                                  location=GETPERSON_MODULE_LOCATION)
+            for _ in range(calls):
+                request.add_call([])
+        else:
+            request = XRPCRequest(module="functions", method="getPerson",
+                                  arity=2,
+                                  location=GETPERSON_MODULE_LOCATION)
+            for index in range(calls):
+                pid = f"person{index % self.xmark.persons}"
+                request.add_call([[string("auctions.xml")], [string(pid)]])
+        return build_request(request)
+
+    def measure(self, method: str, calls: int) -> Table3Row:
+        wrapper = self._make_wrapper()
+        payload = self._request(method, calls)
+        response = parse_response(wrapper.handle(payload))
+        assert len(response.results) == calls
+        timings = wrapper.last_timings
+        return Table3Row(
+            function=method,
+            calls=calls,
+            total_ms=timings.total_seconds * 1000.0,
+            compile_ms=timings.compile_seconds * 1000.0,
+            treebuild_ms=timings.treebuild_seconds * 1000.0,
+            exec_ms=timings.exec_seconds * 1000.0,
+        )
+
+    def run(self) -> list[Table3Row]:
+        rows = []
+        for method in ("echoVoid", "getPerson"):
+            for calls in self.calls:
+                rows.append(self.measure(method, calls))
+        return rows
+
+    @staticmethod
+    def render(rows: list[Table3Row]) -> str:
+        lines = [
+            "Table 3: Saxon-profile latency via the XRPC wrapper (msec)",
+            "",
+            f"{'':24}{'total':>10}{'compile':>10}{'treebuild':>11}{'exec':>10}",
+        ]
+        for row in rows:
+            label = f"{row.function} $x={row.calls}"
+            lines.append(
+                f"{label:<24}{row.total_ms:>10.1f}{row.compile_ms:>10.1f}"
+                f"{row.treebuild_ms:>11.1f}{row.exec_ms:>10.1f}")
+        return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Network substrate: transports connecting XRPC peers.
+
+Two interchangeable transports implement the paper's "SOAP over HTTP"
+channel:
+
+* :class:`~repro.net.simulated.SimulatedNetwork` — a deterministic
+  virtual-time transport with a configurable latency/bandwidth cost
+  model.  Benchmarks use it so the latency-amortisation shape of Bulk
+  RPC (Table 2) is machine-independent and reproducible.
+* :class:`~repro.net.http.HttpTransport` /
+  :class:`~repro.net.http.HttpXRPCServer` — a real loopback HTTP POST
+  transport built on the standard library, proving the protocol actually
+  runs over HTTP/SOAP like the paper's SHTTPD-based implementation.
+"""
+
+from repro.net.clock import VirtualClock, WallClock
+from repro.net.cost import NetworkCostModel, PeerCostModel
+from repro.net.simulated import SimulatedNetwork
+from repro.net.transport import Transport, normalize_peer_uri
+from repro.net.http import HttpTransport, HttpXRPCServer
+
+__all__ = [
+    "VirtualClock",
+    "WallClock",
+    "NetworkCostModel",
+    "PeerCostModel",
+    "SimulatedNetwork",
+    "Transport",
+    "normalize_peer_uri",
+    "HttpTransport",
+    "HttpXRPCServer",
+]

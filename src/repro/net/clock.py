@@ -1,0 +1,41 @@
+"""Clocks: virtual (simulation) and wall (real transports).
+
+The paper's experiments measure milliseconds of latency dominated by
+network round-trips and compile costs.  A :class:`VirtualClock` lets the
+simulated benchmarks charge those costs deterministically, so the
+*shape* of Table 2 reproduces on any machine.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class VirtualClock:
+    """A manually-advanced clock measuring simulated seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+
+    def set(self, timestamp: float) -> None:
+        if timestamp < self._now:
+            raise ValueError("cannot move the clock backwards")
+        self._now = timestamp
+
+
+class WallClock:
+    """Real time; used with the HTTP transport."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def advance(self, seconds: float) -> None:
+        """Charging costs is a no-op in real time (they really elapse)."""

@@ -1,0 +1,117 @@
+"""Real HTTP transport: SOAP XRPC over loopback HTTP POST.
+
+Mirrors the paper's deployment — an "ultra-light HTTP daemon" running
+the XRPC request handler — using :mod:`http.server` from the standard
+library.  Used by interop tests and the throughput benchmark to show the
+protocol really is plain SOAP-over-HTTP.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.errors import TransportError
+from repro.net.transport import Transport, normalize_peer_uri
+
+Handler = Callable[[str], str]
+
+
+class HttpXRPCServer:
+    """Serves an XRPC handler at ``POST /xrpc`` on 127.0.0.1.
+
+    Use as a context manager::
+
+        with HttpXRPCServer(handler) as server:
+            transport = HttpTransport({"peer": server.address})
+    """
+
+    def __init__(self, handler: Handler, port: int = 0) -> None:
+        self._handler = handler
+        outer = self
+
+        class _RequestHandler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+                length = int(self.headers.get("Content-Length", "0"))
+                payload = self.rfile.read(length).decode("utf-8")
+                try:
+                    response = outer._handler(payload)
+                    status = 200
+                except Exception as exc:  # handler bugs become HTTP 500
+                    from repro.soap.messages import build_fault
+                    response = build_fault("env:Receiver", str(exc))
+                    status = 500
+                body = response.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type",
+                                 "application/soap+xml; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence stderr
+                pass
+
+        self._server = ThreadingHTTPServer(("127.0.0.1", port), _RequestHandler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> "HttpXRPCServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "HttpXRPCServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class HttpTransport(Transport):
+    """Client side: maps peer keys to ``host:port`` HTTP endpoints."""
+
+    def __init__(self, endpoints: Optional[dict[str, str]] = None) -> None:
+        # Logical peer URI/host -> "127.0.0.1:<port>".
+        self._endpoints = {
+            normalize_peer_uri(key): value
+            for key, value in (endpoints or {}).items()
+        }
+
+    def register_endpoint(self, peer_uri: str, address: str) -> None:
+        self._endpoints[normalize_peer_uri(peer_uri)] = address
+
+    def send(self, destination: str, payload: str) -> str:
+        key = normalize_peer_uri(destination)
+        address = self._endpoints.get(key, key)
+        url = f"http://{address}/xrpc"
+        request = urllib.request.Request(
+            url,
+            data=payload.encode("utf-8"),
+            headers={"Content-Type": "application/soap+xml; charset=utf-8"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as reply:
+                return reply.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            # SOAP faults ride on HTTP 500; surface the fault body.
+            return exc.read().decode("utf-8")
+        except OSError as exc:
+            raise TransportError(f"cannot reach {url}: {exc}") from exc

@@ -1,0 +1,39 @@
+"""Transport interface and peer URI handling.
+
+The paper introduces the ``xrpc://<host>[:port][/[path]]`` URI scheme
+accepted by ``execute at``.  :func:`normalize_peer_uri` reduces any such
+URI (or a bare host name) to the canonical ``host[:port]`` key that
+transports route on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+def normalize_peer_uri(uri: str) -> str:
+    """Canonical peer key from an xrpc:// (or http://) URI or bare host."""
+    for scheme in ("xrpc://", "http://", "https://"):
+        if uri.startswith(scheme):
+            uri = uri[len(scheme):]
+            break
+    return uri.split("/", 1)[0].rstrip("/") or "localhost"
+
+
+class Transport(ABC):
+    """Sends one SOAP message to a destination peer, returns the reply."""
+
+    @abstractmethod
+    def send(self, destination: str, payload: str) -> str:
+        """Synchronous request/response exchange (HTTP POST semantics)."""
+
+    def send_parallel(self, requests: list[tuple[str, str]]) -> list[str]:
+        """Dispatch several requests "in parallel".
+
+        The paper's implementation dispatches Bulk RPC requests to
+        multiple destination peers concurrently (section 3.2).  The
+        default implementation is sequential; the simulated network
+        overrides it to charge only the slowest branch's time.
+        """
+        return [self.send(destination, payload)
+                for destination, payload in requests]

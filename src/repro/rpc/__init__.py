@@ -1,0 +1,35 @@
+"""The XRPC runtime: peers, servers, clients, isolation, 2PC.
+
+This package wires the substrates together into the system of the paper:
+
+* :class:`~repro.rpc.store.DocumentStore` — named XML documents with
+  versioning and copy-on-access snapshots (MonetDB's snapshot isolation
+  via shadow paging, modelled at document granularity);
+* :class:`~repro.rpc.isolation.IsolationManager` — per-queryID snapshots
+  with relative timeouts and expired-queryID bookkeeping (section 2.2);
+* :class:`~repro.rpc.client.ClientSession` — the message sender API /
+  "stub code" incl. Bulk RPC and participating-peer tracking;
+* :class:`~repro.rpc.server.XRPCServer` — the request handler;
+* :class:`~repro.rpc.peer.XRPCPeer` — a full peer (engine + store +
+  server + client) able to originate and serve distributed queries;
+* :class:`~repro.rpc.coordinator.TransactionCoordinator` — the
+  WS-AtomicTransaction-style 2PC driver (section 2.3).
+"""
+
+from repro.rpc.store import DocumentStore, Snapshot
+from repro.rpc.isolation import IsolationManager
+from repro.rpc.client import ClientSession
+from repro.rpc.server import XRPCServer
+from repro.rpc.peer import XRPCPeer, QueryResult
+from repro.rpc.coordinator import TransactionCoordinator
+
+__all__ = [
+    "DocumentStore",
+    "Snapshot",
+    "IsolationManager",
+    "ClientSession",
+    "XRPCServer",
+    "XRPCPeer",
+    "QueryResult",
+    "TransactionCoordinator",
+]

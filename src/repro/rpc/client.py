@@ -1,0 +1,146 @@
+"""XRPC client: the "message sender API" + generated stub behaviour.
+
+A :class:`ClientSession` lives for one query: it stamps every outgoing
+request with the query's queryID (when repeatable-read isolation is on),
+counts messages, and accumulates the participating-peer set piggybacked
+on responses — which the originating peer later registers with the 2PC
+coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XRPCFault
+from repro.net.transport import Transport, normalize_peer_uri
+from repro.soap.messages import (
+    QueryID,
+    TxnCommand,
+    TxnResult,
+    XRPCRequest,
+    build_request,
+    build_txn_command,
+    parse_message,
+    parse_response,
+)
+
+
+class ClientSession:
+    """Per-query XRPC client state."""
+
+    def __init__(self, transport: Transport, origin: str,
+                 query_id: Optional[QueryID] = None) -> None:
+        self.transport = transport
+        self.origin = origin
+        self.query_id = query_id
+        self.participants: list[str] = []
+        self.messages_sent = 0
+        self.calls_shipped = 0
+
+    # -- request construction ------------------------------------------------
+
+    def _make_request(self, module_uri: str, location: Optional[str],
+                      function: str, arity: int,
+                      updating: bool) -> XRPCRequest:
+        return XRPCRequest(
+            module=module_uri,
+            method=function,
+            arity=arity,
+            location=location,
+            query_id=self.query_id,
+            updating=updating,
+        )
+
+    def _record_participants(self, destination: str,
+                             piggybacked: list[str]) -> None:
+        for peer in [normalize_peer_uri(destination), *piggybacked]:
+            if peer not in self.participants and peer != self.origin:
+                self.participants.append(peer)
+
+    # -- calls ------------------------------------------------------------------
+
+    def call(self, destination: str, module_uri: str, location: Optional[str],
+             function: str, arity: int, calls: list[list[list]],
+             updating: bool = False) -> list[list]:
+        """Send one (possibly bulk) request; returns one sequence per call.
+
+        ``calls`` is a list of calls, each a list of parameter sequences.
+        """
+        request = self._make_request(module_uri, location, function, arity,
+                                     updating)
+        for params in calls:
+            request.add_call(params)
+        payload = build_request(request)
+        self.messages_sent += 1
+        self.calls_shipped += len(calls)
+        raw = self.transport.send(destination, payload)
+        response = parse_response(raw)
+        self._record_participants(destination, response.participating_peers)
+        if not updating and len(response.results) != len(calls):
+            raise XRPCFault(
+                "env:Receiver",
+                f"bulk response carries {len(response.results)} results "
+                f"for {len(calls)} calls")
+        if updating and not response.results:
+            return [[] for _ in calls]
+        return response.results
+
+    def call_parallel(self, grouped: list[tuple[str, str, Optional[str], str,
+                                                int, list[list[list]], bool]],
+                      tolerate_faults: bool = False,
+                      ) -> list[Optional[list[list]]]:
+        """Dispatch several bulk requests to different peers in parallel.
+
+        Each entry is ``(destination, module_uri, location, function,
+        arity, calls, updating)``.  Returns the per-request result lists
+        in input order.
+
+        With ``tolerate_faults`` a faulting request yields ``None``
+        instead of raising — used by the speculative phase of the bulk
+        executor, where a recorded call may have placeholder-derived
+        arguments and its *direct* re-send (with real arguments) is the
+        authoritative attempt.
+        """
+        payloads = []
+        for destination, module_uri, location, function, arity, calls, updating \
+                in grouped:
+            request = self._make_request(module_uri, location, function,
+                                         arity, updating)
+            for params in calls:
+                request.add_call(params)
+            payloads.append((destination, build_request(request)))
+            self.messages_sent += 1
+            self.calls_shipped += len(calls)
+        raw_responses = self.transport.send_parallel(payloads)
+        results: list[Optional[list[list]]] = []
+        for (destination, *_rest), raw in zip(grouped, raw_responses):
+            try:
+                response = parse_response(raw)
+            except XRPCFault:
+                if tolerate_faults:
+                    results.append(None)
+                    continue
+                raise
+            self._record_participants(destination,
+                                      response.participating_peers)
+            results.append(response.results)
+        return results
+
+    # -- 2PC driver side ---------------------------------------------------------
+
+    def send_txn_command(self, destination: str, kind: str) -> TxnResult:
+        if self.query_id is None:
+            raise XRPCFault("env:Sender",
+                            "transaction commands require a queryID")
+        payload = build_txn_command(TxnCommand(kind, self.query_id))
+        self.messages_sent += 1
+        raw = self.transport.send(destination, payload)
+        message = parse_message(raw)
+        if isinstance(message, TxnResult):
+            return message
+        if isinstance(message, XRPCFault):
+            raise message
+        from repro.soap.messages import XRPCFaultMessage
+        if isinstance(message, XRPCFaultMessage):
+            return TxnResult(kind=kind, ok=False, detail=message.reason)
+        raise XRPCFault("env:Receiver", "unexpected reply to txn command")

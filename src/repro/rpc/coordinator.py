@@ -1,0 +1,103 @@
+"""WS-Coordination / WS-AtomicTransaction style coordinator.
+
+The paper deliberately keeps 2PC out of the XRPC protocol proper and
+relies on the WS-AtomicTransaction industry standard.  This module
+provides the coordinator object in that architecture: peers are
+*registered* for a transaction (the originating peer knows them all via
+the participating-peer piggyback), then the coordinator drives
+Prepare/Commit — or Rollback on any 'no' vote.
+
+:class:`~repro.rpc.peer.XRPCPeer` embeds this flow inline for the common
+case; the standalone coordinator exists for explicit use and for tests
+that exercise failure paths (participant votes no, late commit, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionError
+from repro.net.transport import Transport
+from repro.soap.messages import QueryID, TxnCommand, TxnResult, \
+    build_txn_command, parse_message
+
+
+@dataclass
+class TransactionOutcome:
+    committed: bool
+    votes: dict[str, bool] = field(default_factory=dict)
+    detail: str = ""
+
+
+class TransactionCoordinator:
+    """Drives 2PC for one distributed transaction (one queryID)."""
+
+    def __init__(self, transport: Transport, query_id: QueryID) -> None:
+        self.transport = transport
+        self.query_id = query_id
+        self._participants: list[str] = []
+        self.state = "active"  # active | prepared | committed | aborted
+
+    def register(self, participant: str) -> None:
+        """WS-Coordination registration of a participating peer."""
+        if self.state != "active":
+            raise TransactionError(
+                f"cannot register participants in state {self.state!r}")
+        if participant not in self._participants:
+            self._participants.append(participant)
+
+    @property
+    def participants(self) -> list[str]:
+        return list(self._participants)
+
+    def _send(self, destination: str, kind: str) -> TxnResult:
+        payload = build_txn_command(TxnCommand(kind, self.query_id))
+        reply = parse_message(self.transport.send(destination, payload))
+        if not isinstance(reply, TxnResult):
+            raise TransactionError(
+                f"unexpected reply from {destination} to {kind}")
+        return reply
+
+    def prepare(self) -> TransactionOutcome:
+        """Phase 1: collect votes; abort everyone on the first 'no'."""
+        outcome = TransactionOutcome(committed=False)
+        prepared: list[str] = []
+        for participant in self._participants:
+            vote = self._send(participant, "prepare")
+            outcome.votes[participant] = vote.ok
+            if not vote.ok:
+                outcome.detail = vote.detail
+                for already in prepared:
+                    self._send(already, "rollback")
+                self.state = "aborted"
+                return outcome
+            prepared.append(participant)
+        self.state = "prepared"
+        return outcome
+
+    def commit(self) -> TransactionOutcome:
+        """Phase 2: commit everyone (requires a successful prepare)."""
+        if self.state != "prepared":
+            raise TransactionError(
+                f"commit requires prepared state, not {self.state!r}")
+        outcome = TransactionOutcome(committed=True)
+        for participant in self._participants:
+            ack = self._send(participant, "commit")
+            outcome.votes[participant] = ack.ok
+            if not ack.ok:
+                outcome.committed = False
+                outcome.detail = ack.detail
+        self.state = "committed" if outcome.committed else "aborted"
+        return outcome
+
+    def rollback(self) -> None:
+        for participant in self._participants:
+            self._send(participant, "rollback")
+        self.state = "aborted"
+
+    def run(self) -> TransactionOutcome:
+        """Full 2PC: prepare then commit, rollback on any 'no' vote."""
+        outcome = self.prepare()
+        if self.state != "prepared":
+            return outcome
+        return self.commit()

@@ -1,0 +1,391 @@
+"""A full XRPC peer: engine + document store + server + client.
+
+A peer can *originate* distributed queries (``execute_query``) and
+*serve* incoming XRPC requests (through its :class:`XRPCServer`).
+
+Originating side highlights:
+
+* ``declare option xrpc:isolation "repeatable"`` attaches a queryID to
+  every outgoing request so remote peers pin snapshots (rule R'_Fr);
+  ``declare option xrpc:timeout "30"`` sets the relative timeout.
+* With a :class:`~repro.engine.MonetEngine`, ``execute at`` calls are
+  shipped as **Bulk RPC**: the loop-lifted batching executor sends one
+  message per (destination, function) group, dispatched in parallel to
+  distinct peers — exactly the behaviour of Figures 1/2.
+* Updating queries under isolation finish with WS-AtomicTransaction-style
+  2PC over all participating peers (piggybacked on responses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine import Engine, MonetEngine
+from repro.errors import DynamicError, TransactionError, XRPCFault
+from repro.net.clock import WallClock
+from repro.net.cost import PeerCostModel
+from repro.net.transport import Transport, normalize_peer_uri
+from repro.rpc.client import ClientSession
+from repro.rpc.isolation import IsolationManager
+from repro.rpc.server import XRPCServer
+from repro.rpc.store import DocumentStore
+from repro.soap.messages import QueryID
+from repro.xdm.sequence import deep_equal
+from repro.xquery import xast as A
+from repro.xquery.context import DynamicContext, RemoteCall
+from repro.xquery.evaluator import CompiledQuery, Evaluator
+from repro.xquery.modules import ModuleRegistry
+from repro.xquf.pul import PendingUpdateList, apply_updates
+
+_SYS_MODULE = """
+module namespace sys = "http://monetdb.cwi.nl/XQuery/sys";
+declare function sys:get-doc($uri as xs:string) as document-node()
+{ doc($uri) };
+"""
+_SYS_NS = "http://monetdb.cwi.nl/XQuery/sys"
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one originated query, with execution statistics."""
+
+    sequence: list
+    elapsed_seconds: float
+    messages_sent: int
+    calls_shipped: int
+    participants: list[str] = field(default_factory=list)
+    used_bulk_rpc: bool = False
+    committed_2pc: bool = False
+
+
+class XRPCPeer:
+    """One peer in the distributed XQuery network."""
+
+    def __init__(
+        self,
+        host: str,
+        transport: Transport,
+        engine: Optional[Engine] = None,
+        cost_model: Optional[PeerCostModel] = None,
+    ) -> None:
+        self.host = normalize_peer_uri(host)
+        self.transport = transport
+        self.engine = engine or MonetEngine()
+        self.registry: ModuleRegistry = self.engine.registry
+        self.store = DocumentStore()
+        self.clock = getattr(transport, "clock", None) or WallClock()
+        self.cost_model = cost_model
+        self.isolation = IsolationManager(self.store, self.clock)
+        self.server = XRPCServer(self)
+        self.evaluator = Evaluator()
+        self.registry.register_source(_SYS_MODULE)
+        register = getattr(transport, "register_peer", None)
+        if register is not None:
+            register(self.host, self.server.handle)
+
+    # ------------------------------------------------------------------
+    # Serving side helpers (used by XRPCServer)
+
+    def run_function(self, decl: A.FunctionDecl, params: list[list],
+                     doc_view, session: ClientSession) -> tuple[list, PendingUpdateList]:
+        """Apply a module function to unmarshaled parameters."""
+        ctx = self._make_context(doc_view, session)
+        result = self.evaluator.call_user_function(decl, params, ctx)
+        return result, ctx.pul or PendingUpdateList()
+
+    def _make_context(self, doc_view, session: Optional[ClientSession]) -> DynamicContext:
+        from repro.xquery.context import StaticContext
+        ctx = DynamicContext(
+            StaticContext(),
+            doc_resolver=self.make_doc_resolver(doc_view, session),
+            xrpc_handler=self._one_at_a_time_handler(session)
+            if session is not None else None,
+        )
+        ctx.pul = PendingUpdateList()
+        ctx.put_store = self.store.put
+        ctx.optimize_joins = self.engine.optimize_flwor_joins
+        return ctx
+
+    def make_doc_resolver(self, doc_view, session: Optional[ClientSession]):
+        """fn:doc resolution: local store/snapshot, or remote fetch
+        (data shipping) for ``xrpc://other-host/path`` URIs."""
+        cache: dict[str, object] = {}
+
+        def resolve(uri: str):
+            if uri in cache:
+                return cache[uri]
+            document = None
+            if uri.startswith("xrpc://"):
+                host = normalize_peer_uri(uri)
+                path = uri.split(host, 1)[1].lstrip("/")
+                if host == self.host:
+                    document = doc_view.get(path)
+                else:
+                    if session is None:
+                        raise DynamicError(
+                            "FODC0002",
+                            f"cannot fetch remote document {uri!r} "
+                            "without a client session")
+                    document = self.fetch_remote_document(host, path, session)
+            else:
+                document = doc_view.get(uri)
+            cache[uri] = document
+            return document
+
+        return resolve
+
+    def fetch_remote_document(self, host: str, path: str,
+                              session: ClientSession):
+        """Data shipping: pull a whole document from a remote peer."""
+        from repro.xdm.atomic import string as make_string
+        [result] = session.call(
+            host, _SYS_NS, None, "get-doc", 1, [[[make_string(path)]]])
+        if len(result) != 1:
+            raise XRPCFault("env:Receiver",
+                            f"remote peer returned {len(result)} documents")
+        return result[0]
+
+    def _one_at_a_time_handler(self, session: ClientSession):
+        def handle(call: RemoteCall) -> list:
+            [result] = session.call(
+                call.destination, call.module_uri, call.location,
+                call.function, call.arity, [call.args],
+                updating=call.updating)
+            return result
+
+        return handle
+
+    # ------------------------------------------------------------------
+    # Originating side
+
+    def execute_query(self, source: str,
+                      variables: Optional[dict[str, list]] = None,
+                      force_one_at_a_time: bool = False) -> QueryResult:
+        """Compile and run a query at this peer (the p0 role)."""
+        compiled = self.engine.compile(source)
+
+        isolation = compiled.options.get("xrpc:isolation", "none")
+        timeout = int(compiled.options.get("xrpc:timeout", "60"))
+        query_id = None
+        if isolation == "repeatable":
+            query_id = QueryID(host=self.host, timestamp=self.clock.now(),
+                               timeout=timeout)
+
+        session = ClientSession(self.transport, origin=self.host,
+                                query_id=query_id)
+        started = self.clock.now()
+
+        use_bulk = self.engine.bulk_rpc and not force_one_at_a_time
+        if use_bulk:
+            result, pul = self._execute_bulk(compiled, session, variables)
+        else:
+            result, pul = self._execute_direct(compiled, session, variables)
+
+        committed = False
+        if query_id is not None and session.participants:
+            committed = self._finish_transaction(session)
+        if pul:
+            apply_updates(pul)
+            for uri in _touched_uris(pul):
+                if self.store.contains(uri):
+                    self.store.bump_version(uri)
+
+        return QueryResult(
+            sequence=result,
+            elapsed_seconds=self.clock.now() - started,
+            messages_sent=session.messages_sent,
+            calls_shipped=session.calls_shipped,
+            participants=list(session.participants),
+            used_bulk_rpc=use_bulk,
+            committed_2pc=committed,
+        )
+
+    def _execute_direct(self, compiled: CompiledQuery, session: ClientSession,
+                        variables) -> tuple[list, PendingUpdateList]:
+        resolver = self.make_doc_resolver(self.store, session)
+        return compiled.execute(
+            doc_resolver=resolver,
+            variables=variables,
+            xrpc_handler=self._one_at_a_time_handler(session),
+            put_store=self.store.put,
+            optimize_joins=self.engine.optimize_flwor_joins,
+        )
+
+    # -- Bulk RPC via loop-lifted batching ---------------------------------
+
+    def _execute_bulk(self, compiled: CompiledQuery, session: ClientSession,
+                      variables) -> tuple[list, PendingUpdateList]:
+        """Two-phase batched execution realising Bulk RPC.
+
+        Phase 1 evaluates the query recording every ``execute at`` call
+        (sound because XQUF defers all side effects); phase 2 groups the
+        recorded calls by (destination, function) and ships one bulk
+        message per group — in parallel across distinct destinations;
+        phase 3 re-evaluates, answering each call from the bulk results.
+        Calls whose arguments depend on other calls' results fall back
+        to direct sending during phase 3.
+
+        This is operationally equivalent to MonetDB's loop-lifting
+        (section 3.2): an ``execute at`` in a for-loop becomes a single
+        request per destination carrying all iterations' calls.
+        """
+        resolver = self.make_doc_resolver(self.store, session)
+        recorder = _CallRecorder()
+        try:
+            compiled.execute(
+                doc_resolver=resolver, variables=variables,
+                xrpc_handler=recorder.record, put_store=self.store.put,
+                optimize_joins=self.engine.optimize_flwor_joins)
+            phase1_ok = True
+        except Exception:
+            phase1_ok = False
+
+        if not phase1_ok or not recorder.calls:
+            return self._execute_direct(compiled, session, variables)
+
+        groups = recorder.grouped()
+
+        # Safety for updating groups: an updating call recorded AFTER any
+        # read-only call may have arguments derived from that call's
+        # (placeholder) result — applying it speculatively could commit
+        # wrong data under rule R_Fu. Defer such groups to phase 3.
+        first_read_only = min(
+            (index for index, call in enumerate(recorder.calls)
+             if not call.updating), default=None)
+        shippable = {}
+        for key, (location, entries) in groups.items():
+            if key[4] and first_read_only is not None \
+                    and groups_first_index(recorder.calls, key) > first_read_only:
+                continue  # possibly dependent updating group
+            shippable[key] = (location, entries)
+
+        requests = [
+            (key[0], key[1], location, key[2], key[3],
+             [args for args, _ in entries], key[4])
+            for key, (location, entries) in shippable.items()
+        ]
+        responses = session.call_parallel(requests, tolerate_faults=True)
+
+        replayer = _Replayer(session)
+        for (key, (location, entries)), results in zip(shippable.items(),
+                                                       responses):
+            if results is None:
+                continue  # faulted speculative group: re-send directly
+            replayer.load(key, location, entries, results)
+
+        return compiled.execute(
+            doc_resolver=self.make_doc_resolver(self.store, session),
+            variables=variables,
+            xrpc_handler=replayer.handle,
+            put_store=self.store.put,
+            optimize_joins=self.engine.optimize_flwor_joins,
+        )
+
+    # -- 2PC -----------------------------------------------------------------
+
+    def _finish_transaction(self, session: ClientSession) -> bool:
+        """Run Prepare/Commit over all participants; rollback on failure.
+
+        The originating peer plays the WS-Coordinator role (section 2.3):
+        it knows the full participant list from response piggybacks.
+        """
+        participants = list(session.participants)
+        prepared: list[str] = []
+        for participant in participants:
+            vote = session.send_txn_command(participant, "prepare")
+            if not vote.ok:
+                for already in prepared:
+                    session.send_txn_command(already, "rollback")
+                session.send_txn_command(participant, "rollback")
+                raise TransactionError(
+                    f"participant {participant} voted no at prepare: "
+                    f"{vote.detail}")
+            prepared.append(participant)
+        for participant in participants:
+            ack = session.send_txn_command(participant, "commit")
+            if not ack.ok:
+                raise TransactionError(
+                    f"participant {participant} failed at commit: {ack.detail}")
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Bulk RPC bookkeeping
+
+_GroupKey = tuple  # (dest, module_uri, function, arity, updating)
+
+
+def groups_first_index(calls: list[RemoteCall], key: _GroupKey) -> int:
+    """Recording index of a group's first call (dependency ordering)."""
+    for index, call in enumerate(calls):
+        call_key = (normalize_peer_uri(call.destination), call.module_uri,
+                    call.function, call.arity, call.updating)
+        if call_key == key:
+            return index
+    return len(calls)
+
+
+class _CallRecorder:
+    """Phase-1 handler: records calls, answers with empty sequences."""
+
+    def __init__(self) -> None:
+        self.calls: list[RemoteCall] = []
+
+    def record(self, call: RemoteCall) -> list:
+        self.calls.append(call)
+        return []
+
+    def grouped(self) -> dict:
+        groups: dict = {}
+        for call in self.calls:
+            key = (normalize_peer_uri(call.destination), call.module_uri,
+                   call.function, call.arity, call.updating)
+            location, entries = groups.setdefault(key, (call.location, []))
+            entries.append((call.args, None))
+        return groups
+
+
+class _Replayer:
+    """Phase-3 handler: answers calls from bulk results in order."""
+
+    def __init__(self, session: ClientSession) -> None:
+        self.session = session
+        self._queues: dict = {}
+        self._locations: dict = {}
+
+    def load(self, key: _GroupKey, location, entries, results: list) -> None:
+        queue = self._queues.setdefault(key, [])
+        self._locations[key] = location
+        for (args, _), result in zip(entries, results):
+            queue.append((args, result))
+
+    def handle(self, call: RemoteCall) -> list:
+        key = (normalize_peer_uri(call.destination), call.module_uri,
+               call.function, call.arity, call.updating)
+        queue = self._queues.get(key)
+        if queue and _args_equal(queue[0][0], call.args):
+            _, result = queue.pop(0)
+            return result
+        # Dependent call: its arguments differ from what phase 1 saw
+        # (they depended on another call's result). Ship it directly.
+        [result] = self.session.call(
+            call.destination, call.module_uri, call.location, call.function,
+            call.arity, [call.args], updating=call.updating)
+        return result
+
+
+def _args_equal(left: list[list], right: list[list]) -> bool:
+    if len(left) != len(right):
+        return False
+    return all(deep_equal(a, b) for a, b in zip(left, right))
+
+
+def _touched_uris(pul: PendingUpdateList) -> list[str]:
+    from repro.xdm.nodes import DocumentNode
+    uris: list[str] = []
+    for primitive in pul.primitives:
+        root = primitive.target.root()
+        if isinstance(root, DocumentNode) and root.uri and root.uri not in uris:
+            uris.append(root.uri)
+    return uris

@@ -1,0 +1,170 @@
+"""The XRPC request handler (server side of a peer).
+
+Handles incoming SOAP messages:
+
+* ``xrpc:request`` — executes the named module function once per
+  ``xrpc:call`` (Bulk RPC) against the right database view (current
+  state, or the queryID's snapshot), collecting pending updates per the
+  active isolation rule (R_Fu applies immediately; R'_Fu defers);
+* ``xrpc:prepare`` / ``xrpc:commit`` / ``xrpc:rollback`` — the 2PC
+  participant operations;
+* anything malformed — a SOAP Fault, which the paper mandates must stop
+  execution at the originating site.
+
+Nested XRPC calls made while serving a request run through the peer's
+own client session, and every peer they touch is piggybacked on the
+response (``xrpc:participants``) for coordinator registration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import XQueryError, XRPCFault, XRPCReproError
+from repro.soap.messages import (
+    TxnCommand,
+    TxnResult,
+    XRPCRequest,
+    XRPCResponse,
+    build_fault,
+    build_response,
+    build_txn_result,
+    parse_message,
+)
+from repro.xquf.pul import PendingUpdateList, apply_updates
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rpc.peer import XRPCPeer
+
+
+class XRPCServer:
+    """Request handler bound to one peer."""
+
+    def __init__(self, peer: "XRPCPeer") -> None:
+        self.peer = peer
+        self.requests_handled = 0
+        self.calls_handled = 0
+
+    # -- entry point -----------------------------------------------------------
+
+    def handle(self, payload: str) -> str:
+        """Process one incoming SOAP message; always returns a SOAP reply."""
+        cost = self.peer.cost_model
+        if cost is not None:
+            self.peer.clock.advance(
+                len(payload.encode("utf-8")) * cost.shred_seconds_per_byte
+                + cost.request_overhead_seconds)
+        try:
+            message = parse_message(payload)
+        except XRPCReproError as exc:
+            return build_fault("env:Sender", str(exc))
+        try:
+            if isinstance(message, XRPCRequest):
+                response = self._handle_request(message)
+            elif isinstance(message, TxnCommand):
+                response = self._handle_txn_command(message)
+            else:
+                return build_fault("env:Sender",
+                                   "peer expects requests or txn commands")
+        except XRPCFault as fault:
+            return build_fault(fault.fault_code, fault.reason)
+        except XQueryError as exc:
+            return build_fault("env:Sender", str(exc))
+        except XRPCReproError as exc:
+            return build_fault("env:Receiver", str(exc))
+        if cost is not None:
+            self.peer.clock.advance(
+                len(response.encode("utf-8")) * cost.serialize_seconds_per_byte)
+        return response
+
+    # -- XRPC requests ------------------------------------------------------------
+
+    def _handle_request(self, request: XRPCRequest) -> str:
+        peer = self.peer
+        self.requests_handled += 1
+
+        module = peer.registry.by_namespace(request.module)
+        if module is None:
+            raise XRPCFault("env:Sender", "could not load module!")
+        decl = module.get_function(request.method, request.arity)
+        if decl is None:
+            raise XRPCFault(
+                "env:Sender",
+                f"module {request.module!r} has no function "
+                f"{request.method}#{request.arity}")
+
+        # Charge compile cost unless the function cache holds this plan.
+        cache_key = (request.module, request.method, request.arity)
+        cached = peer.engine.function_cache_lookup(cache_key)
+        if peer.cost_model is not None and not cached:
+            peer.clock.advance(peer.cost_model.compile_seconds)
+        peer.engine.function_cache_store(cache_key)
+
+        # Database view per the isolation rule in force.
+        if request.query_id is not None:
+            snapshot = peer.isolation.acquire(request.query_id)
+            doc_view = snapshot
+        else:
+            doc_view = peer.store
+
+        # Nested calls run through a fresh client session that shares the
+        # incoming queryID, so isolation propagates transitively.
+        from repro.rpc.client import ClientSession
+        nested_session = ClientSession(
+            peer.transport, origin=peer.host, query_id=request.query_id)
+
+        results: list[list] = []
+        collected_pul = PendingUpdateList()
+        for params in request.calls:
+            self.calls_handled += 1
+            if peer.cost_model is not None:
+                peer.clock.advance(peer.cost_model.per_call_seconds)
+            value, pul = peer.run_function(
+                decl, params, doc_view, nested_session)
+            if request.updating or decl.updating:
+                collected_pul.merge(pul)
+                results.append([])
+            else:
+                results.append(value)
+
+        if (request.updating or decl.updating) and collected_pul:
+            if request.query_id is not None:
+                # Rule R'_Fu: defer to 2PC commit.
+                peer.isolation.defer_updates(request.query_id, collected_pul)
+            else:
+                # Rule R_Fu: apply immediately, new current database state.
+                apply_updates(collected_pul)
+                for uri in _touched_uris(collected_pul):
+                    if peer.store.contains(uri):
+                        peer.store.bump_version(uri)
+
+        response = XRPCResponse(
+            module=request.module, method=request.method, results=results)
+        response.participating_peers = [peer.host] + nested_session.participants
+        return build_response(response)
+
+    # -- 2PC participant ------------------------------------------------------------
+
+    def _handle_txn_command(self, command: TxnCommand) -> str:
+        peer = self.peer
+        try:
+            if command.kind == "prepare":
+                peer.isolation.prepare(command.query_id)
+            elif command.kind == "commit":
+                peer.isolation.commit(command.query_id)
+            else:
+                peer.isolation.rollback(command.query_id)
+            return build_txn_result(TxnResult(kind=command.kind, ok=True))
+        except XRPCReproError as exc:
+            return build_txn_result(
+                TxnResult(kind=command.kind, ok=False, detail=str(exc)))
+
+
+def _touched_uris(pul: PendingUpdateList) -> list[str]:
+    from repro.xdm.nodes import DocumentNode
+    uris: list[str] = []
+    for primitive in pul.primitives:
+        root = primitive.target.root()
+        if isinstance(root, DocumentNode) and root.uri and root.uri not in uris:
+            uris.append(root.uri)
+    return uris

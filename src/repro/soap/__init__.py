@@ -1,0 +1,50 @@
+"""SOAP XRPC message protocol (section 2.1 / 3.2 of the paper).
+
+Implements the document/literal SOAP sub-protocol XRPC uses over HTTP:
+
+* request messages — ``xrpc:request`` with module/method/arity/location,
+  one ``xrpc:call`` per function application (**Bulk RPC**: many calls in
+  one message), each parameter an ``xrpc:sequence`` of typed values;
+* response messages — one ``xrpc:sequence`` per call, plus the
+  participating-peers piggyback extension (section 2.3);
+* fault messages — SOAP Fault (``env:Fault``) carrying code + reason;
+* the ``s2n()`` / ``n2s()`` marshaling pair with strict call-by-value
+  node semantics.
+"""
+
+from repro.soap.marshal import s2n, n2s, sequence_to_parts, parts_to_sequence
+from repro.soap.validation import validate_message, ValidationReport
+from repro.soap.nodeid import s2n_call, n2s_call
+from repro.soap.messages import (
+    QueryID,
+    XRPCRequest,
+    XRPCResponse,
+    XRPCFaultMessage,
+    build_request,
+    build_response,
+    build_fault,
+    parse_message,
+    parse_request,
+    parse_response,
+)
+
+__all__ = [
+    "s2n",
+    "n2s",
+    "sequence_to_parts",
+    "parts_to_sequence",
+    "QueryID",
+    "XRPCRequest",
+    "XRPCResponse",
+    "XRPCFaultMessage",
+    "build_request",
+    "build_response",
+    "build_fault",
+    "parse_message",
+    "parse_request",
+    "parse_response",
+    "validate_message",
+    "ValidationReport",
+    "s2n_call",
+    "n2s_call",
+]

@@ -1,0 +1,155 @@
+"""Parameter marshaling: the s2n() / n2s() functions of the paper.
+
+``s2n`` (sequence-to-node) renders an XDM sequence into an
+``<xrpc:sequence>`` element; ``n2s`` (node-to-sequence) is the inverse.
+
+Two properties the paper calls out are enforced here:
+
+* **Typed atomic round-trip** — atomic values carry their XML Schema
+  type in ``xsi:type`` and come back as values of that type.
+* **Call-by-value** — node-typed parameters are returned by ``n2s`` as
+  *standalone fragments with fresh node identity*, so upward/sideways
+  XPath axes on them are empty at the remote side and a query can never
+  navigate into the SOAP envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XRPCFault
+from repro.xdm.atomic import AtomicValue, cast
+from repro.xdm.nodes import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    NodeFactory,
+    ProcessingInstructionNode,
+    TextNode,
+    copy_into,
+    copy_tree,
+)
+from repro.xdm.types import type_by_name, is_known_type, xs
+
+XRPC_PREFIX = "xrpc"
+
+
+def s2n(sequence: list, factory: Optional[NodeFactory] = None) -> ElementNode:
+    """Marshal an XDM sequence into an ``<xrpc:sequence>`` element."""
+    factory = factory or NodeFactory()
+    wrapper = factory.element(f"{XRPC_PREFIX}:sequence",
+                              "http://monetdb.cwi.nl/XQuery")
+    for item in sequence:
+        wrapper.append(_marshal_item(item, factory))
+    return wrapper
+
+
+def _marshal_item(item, factory: NodeFactory) -> Node:
+    ns = "http://monetdb.cwi.nl/XQuery"
+    if isinstance(item, AtomicValue):
+        holder = factory.element(f"{XRPC_PREFIX}:atomic-value", ns)
+        holder.set_attribute(
+            factory.attribute("xsi:type", item.type.name,
+                              "http://www.w3.org/2001/XMLSchema-instance"))
+        text = item.string_value()
+        if text:
+            holder.append(factory.text(text))
+        return holder
+    if isinstance(item, ElementNode):
+        holder = factory.element(f"{XRPC_PREFIX}:element", ns)
+        holder.append(copy_into(item, factory))
+        return holder
+    if isinstance(item, DocumentNode):
+        holder = factory.element(f"{XRPC_PREFIX}:document", ns)
+        for child in item.children:
+            holder.append(copy_into(child, factory))
+        return holder
+    if isinstance(item, AttributeNode):
+        holder = factory.element(f"{XRPC_PREFIX}:attribute", ns)
+        holder.set_attribute(
+            factory.attribute(item.name, item.value, item.ns_uri))
+        return holder
+    if isinstance(item, TextNode):
+        holder = factory.element(f"{XRPC_PREFIX}:text", ns)
+        if item.content:
+            holder.append(factory.text(item.content))
+        return holder
+    if isinstance(item, CommentNode):
+        holder = factory.element(f"{XRPC_PREFIX}:comment", ns)
+        if item.content:
+            holder.append(factory.text(item.content))
+        return holder
+    if isinstance(item, ProcessingInstructionNode):
+        holder = factory.element(f"{XRPC_PREFIX}:pi", ns)
+        holder.set_attribute(factory.attribute("target", item.target))
+        if item.content:
+            holder.append(factory.text(item.content))
+        return holder
+    raise XRPCFault("env:Sender", f"cannot marshal item {item!r}")
+
+
+def n2s(sequence_element: ElementNode) -> list:
+    """Unmarshal an ``<xrpc:sequence>`` element back into an XDM sequence.
+
+    Node values are deep-copied out of the message tree so each result
+    item is a fresh standalone fragment (call-by-value).
+    """
+    result: list = []
+    for holder in sequence_element.child_elements():
+        result.append(_unmarshal_item(holder))
+    return result
+
+
+def _unmarshal_item(holder: ElementNode):
+    kind = holder.local_name
+    if kind == "atomic-value":
+        type_attr = holder.get_attribute("xsi:type") or holder.get_attribute("type")
+        type_name = type_attr.value if type_attr else "xs:string"
+        if not is_known_type(type_name):
+            # Unknown (user-defined) type: degrade to untypedAtomic, as the
+            # paper allows for anonymous user-defined schema types.
+            return AtomicValue(holder.string_value(), xs.untypedAtomic)
+        raw = AtomicValue(holder.string_value(), xs.untypedAtomic)
+        return cast(raw, type_by_name(type_name))
+    if kind == "element":
+        element = next(
+            (c for c in holder.children if isinstance(c, ElementNode)), None)
+        if element is None:
+            raise XRPCFault("env:Sender", "xrpc:element holder without child element")
+        return copy_tree(element)
+    if kind == "document":
+        factory = NodeFactory()
+        document = factory.document()
+        for child in holder.children:
+            document.append(copy_into(child, factory))
+        return document
+    if kind == "attribute":
+        source = next(
+            (a for a in holder.attributes
+             if not a.name.startswith("xmlns") and a.local_name != "type"),
+            None)
+        if source is None:
+            raise XRPCFault("env:Sender", "xrpc:attribute holder without attribute")
+        return NodeFactory().attribute(source.name, source.value, source.ns_uri)
+    if kind == "text":
+        return NodeFactory().text(holder.string_value())
+    if kind == "comment":
+        return NodeFactory().comment(holder.string_value())
+    if kind == "pi":
+        target_attr = holder.get_attribute("target")
+        target = target_attr.value if target_attr else "pi"
+        return NodeFactory().processing_instruction(target, holder.string_value())
+    raise XRPCFault("env:Sender", f"unknown XRPC value element <{kind}>")
+
+
+# Convenience aliases used by the message layer -----------------------------
+
+
+def sequence_to_parts(sequence: list, factory: NodeFactory) -> ElementNode:
+    return s2n(sequence, factory)
+
+
+def parts_to_sequence(element: ElementNode) -> list:
+    return n2s(element)

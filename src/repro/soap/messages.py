@@ -1,0 +1,368 @@
+"""SOAP XRPC envelope building and parsing.
+
+Message layout follows section 2.1 of the paper::
+
+    <env:Envelope xmlns:xrpc="http://monetdb.cwi.nl/XQuery" ...>
+      <env:Body>
+        <xrpc:request module="films" method="filmsByActor" arity="1"
+                      location="http://x.example.org/film.xq">
+          <xrpc:queryID host="p0" timestamp="..." timeout="60"/>   (isolation ext.)
+          <xrpc:call>
+            <xrpc:sequence> ... one per parameter ... </xrpc:sequence>
+          </xrpc:call>
+          <xrpc:call> ... Bulk RPC: more calls ... </xrpc:call>
+        </xrpc:request>
+      </env:Body>
+    </env:Envelope>
+
+Responses carry one ``xrpc:sequence`` per call and, as the section 2.3
+extension, an ``xrpc:participants`` element listing every peer touched
+while serving the request (needed by the 2PC coordinator registration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import XRPCFault
+from repro.soap.marshal import n2s, s2n
+from repro.xdm.nodes import DocumentNode, ElementNode, NodeFactory
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+
+XRPC_NS = "http://monetdb.cwi.nl/XQuery"
+ENV_NS = "http://www.w3.org/2003/05/soap-envelope"
+XS_NS = "http://www.w3.org/2001/XMLSchema"
+XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
+
+_ENVELOPE_DECLARATIONS = {
+    "xrpc": XRPC_NS,
+    "env": ENV_NS,
+    "xs": XS_NS,
+    "xsi": XSI_NS,
+}
+
+
+@dataclass
+class QueryID:
+    """Identifies a query for repeatable-read isolation (section 2.2).
+
+    ``host`` and ``timestamp`` identify where/when the query started;
+    ``timeout`` is a *relative* number of seconds during which the remote
+    peer must conserve the isolated database state.
+    """
+
+    host: str
+    timestamp: float
+    timeout: int = 60
+
+    @property
+    def key(self) -> tuple[str, float]:
+        return (self.host, self.timestamp)
+
+
+@dataclass
+class XRPCRequest:
+    """A (possibly bulk) XRPC request: N calls to one function."""
+
+    module: str
+    method: str
+    arity: int
+    location: Optional[str] = None
+    calls: list[list[list]] = field(default_factory=list)
+    query_id: Optional[QueryID] = None
+    updating: bool = False
+
+    def add_call(self, params: list[list]) -> None:
+        if len(params) != self.arity:
+            raise XRPCFault(
+                "env:Sender",
+                f"call has {len(params)} parameters, function arity is {self.arity}")
+        self.calls.append(params)
+
+    @property
+    def is_bulk(self) -> bool:
+        return len(self.calls) > 1
+
+
+@dataclass
+class XRPCResponse:
+    module: str
+    method: str
+    results: list[list] = field(default_factory=list)
+    participating_peers: list[str] = field(default_factory=list)
+
+
+@dataclass
+class XRPCFaultMessage:
+    fault_code: str
+    reason: str
+
+    def raise_(self) -> None:
+        raise XRPCFault(self.fault_code, self.reason)
+
+
+@dataclass
+class TxnCommand:
+    """A WS-AtomicTransaction participant operation (section 2.3).
+
+    ``kind`` is ``"prepare"``, ``"commit"`` or ``"rollback"``; the
+    queryID identifies the distributed transaction.
+    """
+
+    kind: str
+    query_id: QueryID
+
+
+@dataclass
+class TxnResult:
+    """Vote / acknowledgement for a :class:`TxnCommand`."""
+
+    kind: str
+    ok: bool
+    detail: str = ""
+
+
+Message = Union[XRPCRequest, XRPCResponse, XRPCFaultMessage,
+                TxnCommand, TxnResult]
+
+
+# ---------------------------------------------------------------------------
+# Building
+
+
+def _envelope(factory: NodeFactory) -> tuple[ElementNode, ElementNode]:
+    envelope = factory.element("env:Envelope", ENV_NS)
+    envelope.namespace_declarations = dict(_ENVELOPE_DECLARATIONS)
+    envelope.set_attribute(factory.attribute(
+        "xsi:schemaLocation",
+        f"{XRPC_NS} {XRPC_NS}/XRPC.xsd", XSI_NS))
+    body = factory.element("env:Body", ENV_NS)
+    envelope.append(body)
+    return envelope, body
+
+
+def build_request(request: XRPCRequest) -> str:
+    """Serialize an :class:`XRPCRequest` to SOAP XML text."""
+    factory = NodeFactory()
+    envelope, body = _envelope(factory)
+    req = factory.element("xrpc:request", XRPC_NS)
+    req.set_attribute(factory.attribute("module", request.module))
+    req.set_attribute(factory.attribute("method", request.method))
+    req.set_attribute(factory.attribute("arity", str(request.arity)))
+    if request.location:
+        req.set_attribute(factory.attribute("location", request.location))
+    if request.updating:
+        req.set_attribute(factory.attribute("updCall", "true"))
+    body.append(req)
+    if request.query_id is not None:
+        qid = factory.element("xrpc:queryID", XRPC_NS)
+        qid.set_attribute(factory.attribute("host", request.query_id.host))
+        qid.set_attribute(
+            factory.attribute("timestamp", repr(request.query_id.timestamp)))
+        qid.set_attribute(
+            factory.attribute("timeout", str(request.query_id.timeout)))
+        req.append(qid)
+    for params in request.calls:
+        call = factory.element("xrpc:call", XRPC_NS)
+        for param in params:
+            call.append(s2n(param, factory))
+        req.append(call)
+    return '<?xml version="1.0" encoding="utf-8"?>' + serialize(envelope)
+
+
+def build_response(response: XRPCResponse) -> str:
+    """Serialize an :class:`XRPCResponse` to SOAP XML text."""
+    factory = NodeFactory()
+    envelope, body = _envelope(factory)
+    resp = factory.element("xrpc:response", XRPC_NS)
+    resp.set_attribute(factory.attribute("module", response.module))
+    resp.set_attribute(factory.attribute("method", response.method))
+    body.append(resp)
+    if response.participating_peers:
+        participants = factory.element("xrpc:participants", XRPC_NS)
+        for peer in response.participating_peers:
+            entry = factory.element("xrpc:peer", XRPC_NS)
+            entry.set_attribute(factory.attribute("uri", peer))
+            participants.append(entry)
+        resp.append(participants)
+    for result in response.results:
+        resp.append(s2n(result, factory))
+    return '<?xml version="1.0" encoding="utf-8"?>' + serialize(envelope)
+
+
+def build_fault(fault_code: str, reason: str) -> str:
+    """Serialize a SOAP Fault (error message format of section 2.1)."""
+    factory = NodeFactory()
+    envelope, body = _envelope(factory)
+    fault = factory.element("env:Fault", ENV_NS)
+    code = factory.element("env:Code", ENV_NS)
+    value = factory.element("env:Value", ENV_NS)
+    value.append(factory.text(fault_code))
+    code.append(value)
+    reason_el = factory.element("env:Reason", ENV_NS)
+    text_el = factory.element("env:Text", ENV_NS)
+    text_el.set_attribute(factory.attribute(
+        "xml:lang", "en", "http://www.w3.org/XML/1998/namespace"))
+    text_el.append(factory.text(reason))
+    reason_el.append(text_el)
+    fault.append(code)
+    fault.append(reason_el)
+    body.append(fault)
+    return '<?xml version="1.0" encoding="utf-8"?>' + serialize(envelope)
+
+
+def build_txn_command(command: TxnCommand) -> str:
+    """Serialize a Prepare/Commit/Rollback message."""
+    factory = NodeFactory()
+    envelope, body = _envelope(factory)
+    element = factory.element(f"xrpc:{command.kind}", XRPC_NS)
+    element.set_attribute(factory.attribute("host", command.query_id.host))
+    element.set_attribute(
+        factory.attribute("timestamp", repr(command.query_id.timestamp)))
+    element.set_attribute(
+        factory.attribute("timeout", str(command.query_id.timeout)))
+    body.append(element)
+    return '<?xml version="1.0" encoding="utf-8"?>' + serialize(envelope)
+
+
+def build_txn_result(result: TxnResult) -> str:
+    """Serialize a vote/acknowledgement for a transaction command."""
+    factory = NodeFactory()
+    envelope, body = _envelope(factory)
+    element = factory.element("xrpc:txn-result", XRPC_NS)
+    element.set_attribute(factory.attribute("kind", result.kind))
+    element.set_attribute(
+        factory.attribute("ok", "true" if result.ok else "false"))
+    if result.detail:
+        element.set_attribute(factory.attribute("detail", result.detail))
+    body.append(element)
+    return '<?xml version="1.0" encoding="utf-8"?>' + serialize(envelope)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+
+
+def parse_message(text: Union[str, bytes]) -> Message:
+    """Parse any SOAP XRPC message; dispatch on the body's child."""
+    document = parse_document(text if isinstance(text, str) else text.decode("utf-8"))
+    envelope = document.root_element
+    if envelope is None or envelope.local_name != "Envelope" \
+            or envelope.ns_uri != ENV_NS:
+        raise XRPCFault("env:Sender", "not a SOAP envelope")
+    body = envelope.find("Body", ENV_NS)
+    if body is None:
+        raise XRPCFault("env:Sender", "SOAP envelope without Body")
+    payload = next(iter(body.child_elements()), None)
+    if payload is None:
+        raise XRPCFault("env:Sender", "empty SOAP Body")
+    if payload.local_name == "request" and payload.ns_uri == XRPC_NS:
+        return _parse_request_element(payload)
+    if payload.local_name == "response" and payload.ns_uri == XRPC_NS:
+        return _parse_response_element(payload)
+    if payload.local_name == "Fault" and payload.ns_uri == ENV_NS:
+        return _parse_fault_element(payload)
+    if payload.ns_uri == XRPC_NS and payload.local_name in (
+            "prepare", "commit", "rollback"):
+        return TxnCommand(
+            kind=payload.local_name,
+            query_id=QueryID(
+                host=_required_attr(payload, "host"),
+                timestamp=float(_required_attr(payload, "timestamp")),
+                timeout=int(_required_attr(payload, "timeout")),
+            ),
+        )
+    if payload.ns_uri == XRPC_NS and payload.local_name == "txn-result":
+        detail = payload.get_attribute("detail")
+        return TxnResult(
+            kind=_required_attr(payload, "kind"),
+            ok=_required_attr(payload, "ok") == "true",
+            detail=detail.value if detail else "",
+        )
+    raise XRPCFault(
+        "env:Sender", f"unrecognised SOAP body element <{payload.name}>")
+
+
+def parse_request(text: Union[str, bytes]) -> XRPCRequest:
+    message = parse_message(text)
+    if isinstance(message, XRPCFaultMessage):
+        message.raise_()
+    if not isinstance(message, XRPCRequest):
+        raise XRPCFault("env:Sender", "expected an XRPC request message")
+    return message
+
+
+def parse_response(text: Union[str, bytes]) -> XRPCResponse:
+    message = parse_message(text)
+    if isinstance(message, XRPCFaultMessage):
+        message.raise_()
+    if not isinstance(message, XRPCResponse):
+        raise XRPCFault("env:Receiver", "expected an XRPC response message")
+    return message
+
+
+def _required_attr(element: ElementNode, name: str) -> str:
+    attribute = element.get_attribute(name)
+    if attribute is None:
+        raise XRPCFault(
+            "env:Sender", f"<{element.name}> missing required attribute {name!r}")
+    return attribute.value
+
+
+def _parse_request_element(element: ElementNode) -> XRPCRequest:
+    module = _required_attr(element, "module")
+    method = _required_attr(element, "method")
+    arity = int(_required_attr(element, "arity"))
+    location_attr = element.get_attribute("location")
+    updating_attr = element.get_attribute("updCall")
+    request = XRPCRequest(
+        module=module,
+        method=method,
+        arity=arity,
+        location=location_attr.value if location_attr else None,
+        updating=bool(updating_attr and updating_attr.value == "true"),
+    )
+    qid = element.find("queryID", XRPC_NS)
+    if qid is not None:
+        request.query_id = QueryID(
+            host=_required_attr(qid, "host"),
+            timestamp=float(_required_attr(qid, "timestamp")),
+            timeout=int(_required_attr(qid, "timeout")),
+        )
+    for call in element.find_all("call", XRPC_NS):
+        params = [n2s(seq) for seq in call.find_all("sequence", XRPC_NS)]
+        if len(params) != arity:
+            raise XRPCFault(
+                "env:Sender",
+                f"call has {len(params)} parameter sequences, arity is {arity}")
+        request.calls.append(params)
+    if not request.calls:
+        raise XRPCFault("env:Sender", "request contains no calls")
+    return request
+
+
+def _parse_response_element(element: ElementNode) -> XRPCResponse:
+    response = XRPCResponse(
+        module=_required_attr(element, "module"),
+        method=_required_attr(element, "method"),
+    )
+    participants = element.find("participants", XRPC_NS)
+    if participants is not None:
+        for peer in participants.find_all("peer", XRPC_NS):
+            response.participating_peers.append(_required_attr(peer, "uri"))
+    for sequence in element.find_all("sequence", XRPC_NS):
+        response.results.append(n2s(sequence))
+    return response
+
+
+def _parse_fault_element(element: ElementNode) -> XRPCFaultMessage:
+    code_el = element.find("Code", ENV_NS)
+    value = code_el.find("Value", ENV_NS) if code_el is not None else None
+    reason_el = element.find("Reason", ENV_NS)
+    text_el = reason_el.find("Text", ENV_NS) if reason_el is not None else None
+    return XRPCFaultMessage(
+        fault_code=value.string_value() if value is not None else "env:Receiver",
+        reason=text_el.string_value() if text_el is not None else "unknown fault",
+    )

@@ -1,0 +1,148 @@
+"""The xrpc:nodeid protocol extension (footnote 4 of the paper).
+
+Plain XRPC call-by-value destroys structural relationships between node
+parameters: if parameter 2 is a descendant of parameter 1, both are
+serialized independently and arrive as unrelated fragments.  The paper
+sketches a *call-by-fragment* extension: a node that is a
+descendant-or-self of another, fully-serialized parameter is represented
+by reference — ``<xrpc:element xrpc:nodeid="anchor/path"/>`` — and the
+receiving ``n2s`` resolves the reference *inside the already-unmarshaled
+anchor fragment*, so ancestor/descendant relationships survive the hop
+(and the message is smaller).
+
+The identifier grammar is ``"<param>.<item>[/childindex]*"``: which
+parameter/item holds the anchor fragment, then the child-element index
+path from the anchor to the referenced node.
+
+``s2n_call`` / ``n2s_call`` marshal a whole call's parameter list with
+the extension; they interoperate with the plain marshaler (values
+without ``xrpc:nodeid`` go through the ordinary path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XRPCFault
+from repro.soap.marshal import _marshal_item, _unmarshal_item
+from repro.xdm.nodes import ElementNode, Node, NodeFactory
+
+XRPC_NS = "http://monetdb.cwi.nl/XQuery"
+
+
+def _element_path(ancestor: Node, descendant: Node) -> Optional[list[int]]:
+    """Child-element index path from *ancestor* down to *descendant*,
+    or None when there is no descendant-or-self relationship."""
+    if ancestor is descendant:
+        return []
+    chain: list[Node] = []
+    cursor = descendant
+    while cursor is not None and cursor is not ancestor:
+        chain.append(cursor)
+        cursor = cursor.parent
+    if cursor is None:
+        return None
+    path: list[int] = []
+    current = ancestor
+    for node in reversed(chain):
+        elements = [c for c in current.children if isinstance(c, ElementNode)]
+        for index, child in enumerate(elements):
+            if child is node:
+                path.append(index)
+                break
+        else:
+            return None  # descendant via non-element (attribute etc.)
+        current = node
+    return path
+
+
+def s2n_call(params: list[list], factory: Optional[NodeFactory] = None
+             ) -> list[ElementNode]:
+    """Marshal one call's parameters with the nodeid extension.
+
+    Returns one ``<xrpc:sequence>`` element per parameter.  Element
+    items that are descendants of an earlier fully-serialized element
+    item become ``xrpc:nodeid`` references.
+    """
+    factory = factory or NodeFactory()
+    anchors: list[tuple[str, Node]] = []  # (anchor id, original node)
+    sequences: list[ElementNode] = []
+    for param_index, sequence in enumerate(params):
+        wrapper = factory.element("xrpc:sequence", XRPC_NS)
+        for item_index, item in enumerate(sequence):
+            holder = None
+            if isinstance(item, ElementNode):
+                for anchor_id, anchor in anchors:
+                    path = _element_path(anchor, item)
+                    if path is not None:
+                        holder = factory.element("xrpc:element", XRPC_NS)
+                        nodeid = anchor_id + "".join(f"/{i}" for i in path)
+                        holder.set_attribute(factory.attribute(
+                            "xrpc:nodeid", nodeid, XRPC_NS))
+                        break
+            if holder is None:
+                holder = _marshal_item(item, factory)
+                if isinstance(item, ElementNode):
+                    anchors.append((f"{param_index}.{item_index}", item))
+            wrapper.append(holder)
+        sequences.append(wrapper)
+    return sequences
+
+
+def n2s_call(sequences: list[ElementNode]) -> list[list]:
+    """Unmarshal one call's parameter sequences, resolving nodeids.
+
+    Referenced nodes are returned as the *same objects* living inside
+    their anchor fragment, preserving ancestor/descendant relationships.
+    """
+    params: list[list] = []
+    unmarshaled: dict[str, Node] = {}
+    deferred: list[tuple[int, int, str]] = []
+    for param_index, wrapper in enumerate(sequences):
+        values: list = []
+        for item_index, holder in enumerate(wrapper.child_elements()):
+            nodeid_attr = holder.get_attribute("xrpc:nodeid")
+            if nodeid_attr is not None:
+                values.append(None)  # placeholder, resolved below
+                deferred.append((param_index, item_index, nodeid_attr.value))
+            else:
+                value = _unmarshal_item(holder)
+                if isinstance(value, ElementNode):
+                    unmarshaled[f"{param_index}.{item_index}"] = value
+                values.append(value)
+        params.append(values)
+
+    for param_index, item_index, nodeid in deferred:
+        params[param_index][item_index] = _resolve(nodeid, unmarshaled)
+    return params
+
+
+def _resolve(nodeid: str, anchors: dict[str, Node]) -> Node:
+    anchor_id, _, path_text = nodeid.partition("/")
+    anchor = anchors.get(anchor_id)
+    if anchor is None:
+        raise XRPCFault(
+            "env:Sender", f"xrpc:nodeid {nodeid!r} references an unknown "
+            "anchor parameter")
+    node = anchor
+    if path_text:
+        for step in path_text.split("/"):
+            elements = [c for c in node.children
+                        if isinstance(c, ElementNode)]
+            index = int(step)
+            if index >= len(elements):
+                raise XRPCFault(
+                    "env:Sender",
+                    f"xrpc:nodeid {nodeid!r} path leaves the fragment")
+            node = elements[index]
+    return node
+
+
+def message_bytes_saved(params: list[list]) -> int:
+    """Size difference (plain minus nodeid encoding) for one call —
+    the compression benefit the paper mentions."""
+    from repro.soap.marshal import s2n
+    from repro.xml.serializer import serialize
+    plain = sum(len(serialize(s2n(sequence))) for sequence in params)
+    compact = sum(len(serialize(sequence)) for sequence in s2n_call(params))
+    return plain - compact

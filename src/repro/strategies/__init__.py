@@ -1,0 +1,38 @@
+"""Distributed query execution strategies (section 5 of the paper).
+
+Query Q7 joins persons (peer A) with closed auctions (peer B).  The
+paper shows four ways to express its distribution in XRPC; this package
+provides the exact rewritten query texts and a uniform runner:
+
+* **data shipping** — Q7 as written: ``doc("xrpc://B/auctions.xml")``
+  ships the whole remote document;
+* **predicate push-down** — Q7_1: function ``b:Q_B1()`` returns only the
+  ``closed_auction`` nodes;
+* **execution relocation** — ``b:Q_B2()`` moves the entire join (and the
+  fetch of persons.xml) to peer B;
+* **distributed semi-join** — Q7_3: ``b:Q_B3($pid)`` is called once per
+  person with a loop-dependent parameter; Bulk RPC ships all 250 probes
+  in one message.
+"""
+
+from repro.strategies.q7 import (
+    STRATEGY_NAMES,
+    StrategyRun,
+    query_data_shipping,
+    query_predicate_pushdown,
+    query_execution_relocation,
+    query_semijoin,
+    build_strategy_query,
+    run_strategy,
+)
+
+__all__ = [
+    "STRATEGY_NAMES",
+    "StrategyRun",
+    "query_data_shipping",
+    "query_predicate_pushdown",
+    "query_execution_relocation",
+    "query_semijoin",
+    "build_strategy_query",
+    "run_strategy",
+]

@@ -1,0 +1,126 @@
+"""Q7 and its distributed rewrites (section 5 of the paper)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.workloads.modules import FUNCTIONS_B_LOCATION
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rpc.peer import XRPCPeer
+
+STRATEGY_NAMES = (
+    "data shipping",
+    "predicate push-down",
+    "execution relocation",
+    "distributed semi-join",
+)
+
+
+def query_data_shipping(b_host: str) -> str:
+    """Q7 as written: peer A pulls auctions.xml in full."""
+    return f"""
+    for $p in doc("persons.xml")//person,
+        $ca in doc("xrpc://{b_host}/auctions.xml")//closed_auction
+    where $p/@id = $ca/buyer/@person
+    return <result>{{$p, $ca/annotation}}</result>
+    """
+
+
+def query_predicate_pushdown(b_host: str) -> str:
+    """Q7_1: push the //closed_auction predicate into peer B."""
+    return f"""
+    import module namespace b="functions_b" at "{FUNCTIONS_B_LOCATION}";
+    for $p in doc("persons.xml")//person,
+        $ca in execute at {{"xrpc://{b_host}"}} {{ b:Q_B1() }}
+    where $p/@id = $ca/buyer/@person
+    return <result>{{$p, $ca/annotation}}</result>
+    """
+
+
+def query_execution_relocation(b_host: str) -> str:
+    """Relocate all execution onto peer B (which fetches persons.xml)."""
+    return f"""
+    import module namespace b="functions_b" at "{FUNCTIONS_B_LOCATION}";
+    execute at {{"xrpc://{b_host}"}} {{ b:Q_B2() }}
+    """
+
+
+def query_semijoin(b_host: str) -> str:
+    """Q7_3: the classical distributed semi-join, loop-dependent param."""
+    return f"""
+    import module namespace b="functions_b" at "{FUNCTIONS_B_LOCATION}";
+    for $p in doc("persons.xml")//person
+    let $ca := execute at {{"xrpc://{b_host}"}} {{ b:Q_B3(string($p/@id)) }}
+    return if (empty($ca)) then ()
+           else <result>{{$p, $ca/annotation}}</result>
+    """
+
+
+_BUILDERS = {
+    "data shipping": query_data_shipping,
+    "predicate push-down": query_predicate_pushdown,
+    "execution relocation": query_execution_relocation,
+    "distributed semi-join": query_semijoin,
+}
+
+
+def build_strategy_query(strategy: str, b_host: str) -> str:
+    """Query text for one of :data:`STRATEGY_NAMES`."""
+    try:
+        builder = _BUILDERS[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; pick one of {STRATEGY_NAMES}")
+    return builder(b_host)
+
+
+@dataclass
+class StrategyRun:
+    """One strategy execution with its measurements."""
+
+    strategy: str
+    results: int                # number of <result> elements (paper: 6)
+    total_seconds: float        # originating peer wall time
+    local_cpu_seconds: float    # peer A CPU (the paper's "MonetDB Time")
+    remote_seconds: float       # total - local (the paper's "Saxon Time")
+    messages_sent: int
+    bytes_shipped: int
+
+
+def run_strategy(strategy: str, peer_a: "XRPCPeer", b_host: str,
+                 network=None, remote_seconds_fn=None) -> StrategyRun:
+    """Execute one strategy from peer A and collect the Table 4 row.
+
+    The split follows the paper: "Saxon Time was measured by subtracting
+    MonetDB time from total, such that it also included communication".
+    Pass ``remote_seconds_fn`` (a zero-argument callable returning the
+    remote peer's accumulated busy seconds) to measure the remote share
+    directly; local time is then total minus remote.
+    """
+    query = build_strategy_query(strategy, b_host)
+    bytes_before = 0
+    if network is not None:
+        bytes_before = network.bytes_sent + network.bytes_received
+    remote_before = remote_seconds_fn() if remote_seconds_fn else 0.0
+
+    wall_started = time.process_time()
+    outcome = peer_a.execute_query(query)
+    total = time.process_time() - wall_started
+
+    remote = (remote_seconds_fn() - remote_before) if remote_seconds_fn else 0.0
+    bytes_shipped = 0
+    if network is not None:
+        bytes_shipped = (network.bytes_sent + network.bytes_received
+                         - bytes_before)
+    return StrategyRun(
+        strategy=strategy,
+        results=len(outcome.sequence),
+        total_seconds=total,
+        local_cpu_seconds=max(total - remote, 0.0),
+        remote_seconds=remote,
+        messages_sent=outcome.messages_sent,
+        bytes_shipped=bytes_shipped,
+    )

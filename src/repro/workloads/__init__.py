@@ -1,0 +1,37 @@
+"""Workload generators and test modules for the paper's experiments.
+
+* :mod:`repro.workloads.films` — the running example of section 2:
+  ``filmDB.xml`` documents and the ``film.xq`` module.
+* :mod:`repro.workloads.xmark` — a deterministic, scaled-down XMark-like
+  generator producing ``persons.xml`` / ``auctions.xml`` with the
+  element shapes Q7 (section 5) navigates.
+* :mod:`repro.workloads.modules` — the XQuery modules the experiments
+  install on peers: ``test:echoVoid``, ``func:getPerson`` and the
+  ``functions_b`` strategy functions Q_B1/Q_B2/Q_B3.
+"""
+
+from repro.workloads.films import FILM_MODULE, FILM_MODULE_LOCATION, film_db
+from repro.workloads.xmark import XMarkConfig, generate_persons, generate_auctions
+from repro.workloads.modules import (
+    TEST_MODULE,
+    TEST_MODULE_LOCATION,
+    GETPERSON_MODULE,
+    GETPERSON_MODULE_LOCATION,
+    FUNCTIONS_B_MODULE,
+    FUNCTIONS_B_LOCATION,
+)
+
+__all__ = [
+    "FILM_MODULE",
+    "FILM_MODULE_LOCATION",
+    "film_db",
+    "XMarkConfig",
+    "generate_persons",
+    "generate_auctions",
+    "TEST_MODULE",
+    "TEST_MODULE_LOCATION",
+    "GETPERSON_MODULE",
+    "GETPERSON_MODULE_LOCATION",
+    "FUNCTIONS_B_MODULE",
+    "FUNCTIONS_B_LOCATION",
+]

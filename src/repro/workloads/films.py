@@ -1,0 +1,45 @@
+"""The film database running example (section 2 of the paper)."""
+
+from __future__ import annotations
+
+import random
+
+FILM_MODULE_LOCATION = "http://x.example.org/film.xq"
+
+FILM_MODULE = """
+module namespace film = "films";
+declare function film:filmsByActor($actor as xs:string) as node()*
+{ doc("filmDB.xml")//name[../actor = $actor] };
+"""
+
+_PAPER_FILMS = [
+    ("The Rock", "Sean Connery"),
+    ("Goldfinger", "Sean Connery"),
+    ("Green Card", "Gerard Depardieu"),
+]
+
+_ACTORS = [
+    "Sean Connery", "Julie Andrews", "Gerard Depardieu", "Audrey Hepburn",
+    "Marlon Brando", "Meryl Streep", "Humphrey Bogart", "Ingrid Bergman",
+]
+
+
+def film_db(extra_films: int = 0, seed: int = 7) -> str:
+    """The paper's filmDB.xml, optionally padded with synthetic films.
+
+    Parameters
+    ----------
+    extra_films:
+        Number of generated films appended after the three from the
+        paper (used by the bandwidth experiments to scale payloads).
+    seed:
+        RNG seed for deterministic generation.
+    """
+    rng = random.Random(seed)
+    rows = list(_PAPER_FILMS)
+    for index in range(extra_films):
+        rows.append((f"Synthetic Film {index}", rng.choice(_ACTORS)))
+    films = "\n".join(
+        f"<film><name>{name}</name><actor>{actor}</actor></film>"
+        for name, actor in rows)
+    return f"<films>\n{films}\n</films>"

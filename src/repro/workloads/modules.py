@@ -1,0 +1,50 @@
+"""XQuery modules installed on peers by the experiments.
+
+These are the exact module texts the paper lists:
+
+* ``test.xq`` — the echoVoid micro-benchmark module (section 3.3);
+* ``functions.xq`` — the getPerson function of the wrapper example
+  (section 4), plus payload echo helpers for the throughput experiment;
+* ``b.xq`` — the ``functions_b`` module of section 5 with the strategy
+  functions Q_B1 (predicate push-down), Q_B2 (execution relocation) and
+  Q_B3 (distributed semi-join).
+"""
+
+TEST_MODULE_LOCATION = "http://x.example.org/test.xq"
+
+TEST_MODULE = """
+module namespace tst = "test";
+declare function tst:echoVoid() { () };
+declare function tst:echo($payload as node()*) as node()* { $payload };
+declare function tst:produce($n as xs:integer) as node()*
+{ for $i in (1 to $n) return <row>payload-chunk-{$i}</row> };
+"""
+
+GETPERSON_MODULE_LOCATION = "http://example.org/functions.xq"
+
+GETPERSON_MODULE = """
+module namespace func = "functions";
+declare function func:getPerson($doc as xs:string,
+                                $pid as xs:string) as node()?
+{ zero-or-one(doc($doc)//person[@id = $pid]) };
+declare function func:echoVoid() { () };
+"""
+
+FUNCTIONS_B_LOCATION = "http://example.org/b.xq"
+
+FUNCTIONS_B_MODULE = """
+module namespace b = "functions_b";
+
+declare function b:Q_B1() as node()*
+{ doc("auctions.xml")//closed_auction };
+
+declare function b:Q_B2() as node()*
+{ for $p in doc("xrpc://A/persons.xml")//person,
+      $ca in doc("auctions.xml")//closed_auction
+  where $p/@id = $ca/buyer/@person
+  return <result>{$p, $ca/annotation}</result>
+};
+
+declare function b:Q_B3($pid as xs:string) as node()*
+{ doc("auctions.xml")//closed_auction[./buyer/@person = $pid] };
+"""

@@ -1,0 +1,121 @@
+"""XMark-like data generator (deterministic, scaled-down).
+
+The paper's section 5 experiment distributes an XMark document over two
+peers: peer A holds all persons ("persons.xml", 1.1 MB / 250 persons),
+peer B holds items and auctions ("auctions.xml", 50 MB / 4875 closed
+auctions), with exactly 6 matches between persons and closed-auction
+buyers.  This generator reproduces those *structural* parameters at a
+configurable scale: person/auction counts, the number of buyer matches,
+and filler text sizing so the byte-ratio between the documents is in the
+same regime.
+
+We cannot run the original C XMark generator here; the substitution
+preserves what the strategy comparison actually depends on — document
+sizes, join selectivity and the element shapes the queries navigate
+(``person/@id``, ``closed_auction/buyer/@person``, ``annotation``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_FIRST = ["Kasidit", "Jaana", "Wang", "Ewing", "Erara", "Shusaku", "Amare",
+          "Benedikte", "Carmen", "Dariusz", "Eleni", "Farouk", "Gerd",
+          "Hiroshi", "Ines", "Jovan"]
+_LAST = ["Treweek", "Ge", "Yong", "Andersen", "Ichiyoshi", "Uemura",
+         "Okafor", "Nielsen", "Ferreira", "Kowalski", "Papadaki",
+         "Haddad", "Muller", "Sato", "Costa", "Petrov"]
+_WORDS = ("auction lot rare vintage collectible mint condition shipping "
+          "worldwide bidder reserve estimate provenance catalogue signed "
+          "limited edition original certificate authentic").split()
+
+
+@dataclass
+class XMarkConfig:
+    """Scale parameters; defaults mirror the paper's cardinalities."""
+
+    persons: int = 250
+    closed_auctions: int = 4875
+    open_auctions: int = 120
+    matches: int = 6            # persons that actually bought something
+    annotation_words: int = 12  # filler text per auction annotation
+    person_filler_words: int = 20
+    seed: int = 42
+
+
+def _name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+
+
+def _text(rng: random.Random, words: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(words))
+
+
+def generate_persons(config: XMarkConfig) -> str:
+    """persons.xml for peer A: ``site/people/person`` entries."""
+    rng = random.Random(config.seed)
+    parts = ["<site><people>"]
+    for index in range(config.persons):
+        name = _name(rng)
+        city = rng.choice(["Amsterdam", "Vienna", "Tokyo", "Lagos", "Lima"])
+        parts.append(
+            f'<person id="person{index}">'
+            f"<name>{name}</name>"
+            f"<emailaddress>mailto:{name.replace(' ', '.')}@example.org"
+            f"</emailaddress>"
+            f"<address><street>{rng.randint(1, 99)} Main St</street>"
+            f"<city>{city}</city></address>"
+            f"<profile><interest>{_text(rng, config.person_filler_words)}"
+            f"</interest></profile>"
+            f"</person>")
+    parts.append("</people></site>")
+    return "".join(parts)
+
+
+def generate_auctions(config: XMarkConfig) -> str:
+    """auctions.xml for peer B: closed/open auctions + items.
+
+    Exactly ``config.matches`` closed auctions reference a buyer id that
+    exists in peer A's persons.xml (``person0 .. person<matches-1>``);
+    all other buyers use ids beyond the persons range so they never join.
+    """
+    rng = random.Random(config.seed + 1)
+    parts = ["<site>", "<closed_auctions>"]
+    matching = set(rng.sample(range(config.closed_auctions),
+                              min(config.matches, config.closed_auctions)))
+    match_iter = iter(sorted(matching))
+    match_assignment = {}
+    for person_index, auction_index in enumerate(sorted(matching)):
+        match_assignment[auction_index] = person_index
+    for index in range(config.closed_auctions):
+        if index in match_assignment:
+            buyer = f"person{match_assignment[index]}"
+        else:
+            buyer = f"person{config.persons + index}"  # never matches
+        parts.append(
+            f"<closed_auction>"
+            f'<seller person="person{config.persons + 2 * index}"/>'
+            f'<buyer person="{buyer}"/>'
+            f'<itemref item="item{index}"/>'
+            f"<price>{rng.randint(5, 500)}.00</price>"
+            f"<date>{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/2006</date>"
+            f"<annotation><description><text>"
+            f"{_text(rng, config.annotation_words)}"
+            f"</text></description></annotation>"
+            f"</closed_auction>")
+    parts.append("</closed_auctions><open_auctions>")
+    for index in range(config.open_auctions):
+        parts.append(
+            f"<open_auction>"
+            f'<itemref item="item{config.closed_auctions + index}"/>'
+            f"<initial>{rng.randint(1, 50)}.00</initial>"
+            f"<bidder><increase>{rng.randint(1, 20)}.00</increase></bidder>"
+            f"</open_auction>")
+    parts.append("</open_auctions><regions><europe>")
+    for index in range(0, config.closed_auctions, 25):
+        parts.append(
+            f'<item id="item{index}"><name>{_text(rng, 3)}</name>'
+            f"<description><text>{_text(rng, 8)}</text></description></item>")
+    parts.append("</europe></regions></site>")
+    return "".join(parts)

@@ -1,0 +1,20 @@
+"""The XRPC wrapper (section 4 of the paper).
+
+Lets any XQuery engine *without* XRPC support serve XRPC calls: the
+wrapper stores the incoming SOAP request at a temporary location,
+generates a plain XQuery query (Figure 3) that loops over the request's
+``xrpc:call`` elements, applies pure-XQuery ``n2s``/``s2n`` marshaling,
+invokes the requested module function, and element-constructs the SOAP
+response.  The wrapped engine never sees the XRPC protocol — only
+ordinary XQuery.
+"""
+
+from repro.wrapper.wrapper import XRPCWrapper, WrapperTimings
+from repro.wrapper.codegen import generate_wrapper_query, XQUERY_MARSHAL_MODULE
+
+__all__ = [
+    "XRPCWrapper",
+    "WrapperTimings",
+    "generate_wrapper_query",
+    "XQUERY_MARSHAL_MODULE",
+]

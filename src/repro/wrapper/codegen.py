@@ -1,0 +1,124 @@
+"""XQuery code generation for the XRPC wrapper (Figure 3 of the paper).
+
+The generated query has the exact shape the paper shows::
+
+    import module namespace func = "<module>" at "<location>";
+    <env:Envelope ...>
+      <env:Body>
+        <xrpc:response xrpc:module="..." xrpc:method="...">{
+          for $call in doc("<request-file>")//xrpc:call
+          let $param1 := w:n2s($call/xrpc:sequence[1])
+          ...
+          return w:s2n(func:method($param1, ...))
+        }</xrpc:response>
+      </env:Body>
+    </env:Envelope>
+
+and the marshaling pair ``n2s`` / ``s2n`` is implemented *purely in
+XQuery* (the paper: "These functions ... can be implemented purely in
+XQuery"): ``n2s`` dispatches on the ``xsi:type`` attribute with
+``if..then`` chains; ``s2n`` uses ``typeswitch`` to wrap each item in
+the right SOAP element.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+# Pure-XQuery implementation of the marshaling functions.  ``n2s`` copies
+# node parameters through a `document { }` constructor so the engine hands
+# the user function a separate fragment (call-by-value); ``s2n`` relies on
+# element construction, which copies content by definition.
+XQUERY_MARSHAL_MODULE = """
+module namespace w = "urn:xrpc-wrapper-marshal";
+declare namespace xrpc = "http://monetdb.cwi.nl/XQuery";
+declare namespace xsi = "http://www.w3.org/2001/XMLSchema-instance";
+
+declare function w:n2s-one($v as element()) as item()* {
+  if (local-name($v) = 'atomic-value') then
+    let $t := string($v/@xsi:type)
+    return
+      if ($t = 'xs:integer') then xs:integer(string($v))
+      else if ($t = 'xs:decimal') then xs:decimal(string($v))
+      else if ($t = 'xs:double') then xs:double(string($v))
+      else if ($t = 'xs:boolean') then xs:boolean(string($v))
+      else if ($t = 'xs:anyURI') then xs:anyURI(string($v))
+      else if ($t = 'xs:untypedAtomic') then xs:untypedAtomic(string($v))
+      else string($v)
+  else if (local-name($v) = 'element') then
+    document { $v/* }/*
+  else if (local-name($v) = 'document') then
+    document { $v/* }
+  else if (local-name($v) = 'text') then
+    text { string($v) }
+  else if (local-name($v) = 'comment') then
+    comment { string($v) }
+  else if (local-name($v) = 'attribute') then
+    for $a in $v/@* return attribute { local-name($a) } { string($a) }
+  else ()
+};
+
+declare function w:n2s($n as node()) as item()* {
+  for $v in $n/* return w:n2s-one($v)
+};
+
+declare function w:s2n($seq as item()*) as node() {
+  <xrpc:sequence>{
+    for $i in $seq return
+      typeswitch ($i)
+        case $e as element() return <xrpc:element>{$e}</xrpc:element>
+        case $d as document-node() return <xrpc:document>{$d/*}</xrpc:document>
+        case $a as attribute() return <xrpc:attribute>{$a}</xrpc:attribute>
+        case $t as text() return <xrpc:text>{string($t)}</xrpc:text>
+        case $c as comment() return <xrpc:comment>{string($c)}</xrpc:comment>
+        case $v as xs:integer return
+          <xrpc:atomic-value xsi:type="xs:integer">{string($v)}</xrpc:atomic-value>
+        case $v as xs:boolean return
+          <xrpc:atomic-value xsi:type="xs:boolean">{string($v)}</xrpc:atomic-value>
+        case $v as xs:decimal return
+          <xrpc:atomic-value xsi:type="xs:decimal">{string($v)}</xrpc:atomic-value>
+        case $v as xs:double return
+          <xrpc:atomic-value xsi:type="xs:double">{string($v)}</xrpc:atomic-value>
+        case $v as xs:untypedAtomic return
+          <xrpc:atomic-value xsi:type="xs:untypedAtomic">{string($v)}</xrpc:atomic-value>
+        default $v return
+          <xrpc:atomic-value xsi:type="xs:string">{string($v)}</xrpc:atomic-value>
+  }</xrpc:sequence>
+};
+"""
+
+MARSHAL_NS = "urn:xrpc-wrapper-marshal"
+
+
+def generate_wrapper_query(module_uri: str, location: Optional[str],
+                           method: str, arity: int,
+                           request_path: str) -> str:
+    """Generate the Figure-3 query for one XRPC request."""
+    if location:
+        import_line = (f'import module namespace func = "{module_uri}" '
+                       f'at "{location}";')
+    else:
+        import_line = f'import module namespace func = "{module_uri}";'
+    params = [
+        f'    let $param{index} := w:n2s($call/xrpc:sequence[{index}])'
+        for index in range(1, arity + 1)
+    ]
+    arguments = ", ".join(f"$param{index}" for index in range(1, arity + 1))
+    param_lines = "\n".join(params)
+    return f"""{import_line}
+import module namespace w = "{MARSHAL_NS}";
+declare namespace env = "http://www.w3.org/2003/05/soap-envelope";
+declare namespace xrpc = "http://monetdb.cwi.nl/XQuery";
+
+<env:Envelope xmlns:env="http://www.w3.org/2003/05/soap-envelope"
+    xmlns:xrpc="http://monetdb.cwi.nl/XQuery"
+    xmlns:xs="http://www.w3.org/2001/XMLSchema"
+    xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance">
+  <env:Body>
+    <xrpc:response module="{module_uri}" method="{method}">{{
+      for $call in doc("{request_path}")//xrpc:call
+{param_lines}
+      return w:s2n(func:{method}({arguments}))
+    }}</xrpc:response>
+  </env:Body>
+</env:Envelope>"""

@@ -1,0 +1,376 @@
+"""XDM node kinds with node identity and global document order.
+
+Node identity is Python object identity.  Document order is a total order
+across *all* documents in a process: each node carries an ``order_key``
+``(doc_id, serial)`` assigned by a :class:`NodeFactory` at construction
+time.  Parsers and constructors create nodes in document order, so the
+serial numbers directly encode the order within one tree, and ``doc_id``
+provides the paper-mandated "consistent order over nodes from different
+documents".
+
+Call-by-value semantics of XRPC (section 2.2 of the paper) are realised
+with :func:`copy_tree`: marshaling a node into a SOAP message and back
+produces a fresh tree with new identity, whose upward/sideways axes are
+empty at the remote side.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Iterator, Optional
+
+from repro.xdm.atomic import AtomicValue, untyped
+
+_doc_counter = itertools.count(1)
+_doc_counter_lock = threading.Lock()
+
+
+def _next_doc_id() -> int:
+    with _doc_counter_lock:
+        return next(_doc_counter)
+
+
+class NodeFactory:
+    """Creates nodes of one tree, assigning document-order keys.
+
+    One factory corresponds to one document (or one constructed fragment
+    root): all nodes it makes share a ``doc_id`` and receive increasing
+    serial numbers.
+    """
+
+    def __init__(self) -> None:
+        self.doc_id = _next_doc_id()
+        self._serial = itertools.count(0)
+
+    def _key(self) -> tuple[int, int]:
+        return (self.doc_id, next(self._serial))
+
+    def document(self, uri: Optional[str] = None) -> "DocumentNode":
+        return DocumentNode(self._key(), uri)
+
+    def element(self, name: str, ns_uri: Optional[str] = None) -> "ElementNode":
+        return ElementNode(self._key(), name, ns_uri)
+
+    def attribute(self, name: str, value: str,
+                  ns_uri: Optional[str] = None) -> "AttributeNode":
+        return AttributeNode(self._key(), name, value, ns_uri)
+
+    def text(self, content: str) -> "TextNode":
+        return TextNode(self._key(), content)
+
+    def comment(self, content: str) -> "CommentNode":
+        return CommentNode(self._key(), content)
+
+    def processing_instruction(self, target: str, content: str) -> "ProcessingInstructionNode":
+        return ProcessingInstructionNode(self._key(), target, content)
+
+
+class Node:
+    """Base class of the seven XDM node kinds (we implement six;
+
+    namespace nodes are not exposed by this engine, matching most XQuery
+    implementations).
+    """
+
+    kind: str = "node"
+
+    def __init__(self, order_key: tuple[int, int]) -> None:
+        self.order_key = order_key
+        self.parent: Optional[Node] = None
+
+    # -- axes ------------------------------------------------------------
+
+    @property
+    def children(self) -> list["Node"]:
+        return []
+
+    @property
+    def attributes(self) -> list["AttributeNode"]:
+        return []
+
+    def root(self) -> "Node":
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self) -> Iterator["Node"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self, include_self: bool = False) -> Iterator["Node"]:
+        if include_self:
+            yield self
+        for child in self.children:
+            yield from child.descendants(include_self=True)
+
+    def following_siblings(self) -> Iterator["Node"]:
+        if self.parent is None or isinstance(self, AttributeNode):
+            return
+        siblings = self.parent.children
+        index = _index_of(siblings, self)
+        yield from siblings[index + 1:]
+
+    def preceding_siblings(self) -> Iterator["Node"]:
+        if self.parent is None or isinstance(self, AttributeNode):
+            return
+        siblings = self.parent.children
+        index = _index_of(siblings, self)
+        yield from reversed(siblings[:index])
+
+    def following(self) -> Iterator["Node"]:
+        """Nodes after self in document order, excluding descendants."""
+        node: Node = self
+        while node is not None:
+            for sibling in node.following_siblings():
+                yield from sibling.descendants(include_self=True)
+            node = node.parent  # type: ignore[assignment]
+            if node is None:
+                break
+
+    def preceding(self) -> Iterator["Node"]:
+        """Nodes before self in document order, excluding ancestors."""
+        ancestors = set(id(a) for a in self.ancestors())
+        results = []
+        for node in self.root().descendants(include_self=True):
+            if node is self:
+                break
+            if id(node) not in ancestors:
+                results.append(node)
+        yield from reversed(results)
+
+    # -- values ------------------------------------------------------------
+
+    def string_value(self) -> str:
+        raise NotImplementedError
+
+    def typed_value(self) -> list[AtomicValue]:
+        """Atomization result; untyped documents yield xs:untypedAtomic."""
+        return [untyped(self.string_value())]
+
+    @property
+    def node_name(self) -> Optional[str]:
+        return None
+
+    def serialize(self, indent: bool = False) -> str:
+        """Serialize this node to XML text (convenience wrapper)."""
+        from repro.xml.serializer import serialize
+        return serialize(self, indent=indent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        name = self.node_name or ""
+        return f"<{self.kind} {name} @{self.order_key}>"
+
+
+def _index_of(nodes: list[Node], target: Node) -> int:
+    for index, node in enumerate(nodes):
+        if node is target:
+            return index
+    raise ValueError("node not found among parent's children")
+
+
+class DocumentNode(Node):
+    kind = "document"
+
+    def __init__(self, order_key: tuple[int, int], uri: Optional[str] = None) -> None:
+        super().__init__(order_key)
+        self.uri = uri
+        self._children: list[Node] = []
+
+    @property
+    def children(self) -> list[Node]:
+        return self._children
+
+    def append(self, child: Node) -> None:
+        child.parent = self
+        self._children.append(child)
+
+    def string_value(self) -> str:
+        return "".join(
+            child.string_value() for child in self._children
+            if isinstance(child, (ElementNode, TextNode))
+        )
+
+    @property
+    def root_element(self) -> Optional["ElementNode"]:
+        for child in self._children:
+            if isinstance(child, ElementNode):
+                return child
+        return None
+
+
+class ElementNode(Node):
+    kind = "element"
+
+    def __init__(self, order_key: tuple[int, int], name: str,
+                 ns_uri: Optional[str] = None) -> None:
+        super().__init__(order_key)
+        self.name = name            # lexical QName as written, e.g. "xrpc:call"
+        self.ns_uri = ns_uri        # resolved namespace URI or None
+        self._attributes: list[AttributeNode] = []
+        self._children: list[Node] = []
+        # Prefix->URI bindings declared *on this element* (xmlns attrs).
+        self.namespace_declarations: dict[str, str] = {}
+
+    @property
+    def local_name(self) -> str:
+        return self.name.split(":")[-1]
+
+    @property
+    def node_name(self) -> Optional[str]:
+        return self.name
+
+    @property
+    def children(self) -> list[Node]:
+        return self._children
+
+    @property
+    def attributes(self) -> list["AttributeNode"]:
+        return self._attributes
+
+    def append(self, child: Node) -> None:
+        child.parent = self
+        self._children.append(child)
+
+    def set_attribute(self, attribute: "AttributeNode") -> None:
+        attribute.parent = self
+        self._attributes.append(attribute)
+
+    def get_attribute(self, name: str) -> Optional["AttributeNode"]:
+        """Lookup by lexical name first, falling back to local name."""
+        for attribute in self._attributes:
+            if attribute.name == name:
+                return attribute
+        for attribute in self._attributes:
+            if attribute.local_name == name:
+                return attribute
+        return None
+
+    def string_value(self) -> str:
+        return "".join(
+            child.string_value() for child in self._children
+            if isinstance(child, (ElementNode, TextNode))
+        )
+
+    def find(self, local_name: str, ns_uri: Optional[str] = None) -> Optional["ElementNode"]:
+        """First child element with the given local name (+ namespace)."""
+        for child in self._children:
+            if isinstance(child, ElementNode) and child.local_name == local_name:
+                if ns_uri is None or child.ns_uri == ns_uri:
+                    return child
+        return None
+
+    def find_all(self, local_name: str, ns_uri: Optional[str] = None) -> list["ElementNode"]:
+        return [
+            child for child in self._children
+            if isinstance(child, ElementNode) and child.local_name == local_name
+            and (ns_uri is None or child.ns_uri == ns_uri)
+        ]
+
+    def child_elements(self) -> list["ElementNode"]:
+        return [c for c in self._children if isinstance(c, ElementNode)]
+
+
+class AttributeNode(Node):
+    kind = "attribute"
+
+    def __init__(self, order_key: tuple[int, int], name: str, value: str,
+                 ns_uri: Optional[str] = None) -> None:
+        super().__init__(order_key)
+        self.name = name
+        self.value = value
+        self.ns_uri = ns_uri
+
+    @property
+    def local_name(self) -> str:
+        return self.name.split(":")[-1]
+
+    @property
+    def node_name(self) -> Optional[str]:
+        return self.name
+
+    def string_value(self) -> str:
+        return self.value
+
+
+class TextNode(Node):
+    kind = "text"
+
+    def __init__(self, order_key: tuple[int, int], content: str) -> None:
+        super().__init__(order_key)
+        self.content = content
+
+    def string_value(self) -> str:
+        return self.content
+
+
+class CommentNode(Node):
+    kind = "comment"
+
+    def __init__(self, order_key: tuple[int, int], content: str) -> None:
+        super().__init__(order_key)
+        self.content = content
+
+    def string_value(self) -> str:
+        return self.content
+
+
+class ProcessingInstructionNode(Node):
+    kind = "processing-instruction"
+
+    def __init__(self, order_key: tuple[int, int], target: str, content: str) -> None:
+        super().__init__(order_key)
+        self.target = target
+        self.content = content
+
+    @property
+    def node_name(self) -> Optional[str]:
+        return self.target
+
+    def string_value(self) -> str:
+        return self.content
+
+
+def copy_tree(node: Node, factory: Optional[NodeFactory] = None) -> Node:
+    """Deep-copy *node* into a fresh tree with new node identity.
+
+    The copy is parentless (a standalone fragment), which is exactly the
+    XRPC call-by-value guarantee: upward and horizontal axes evaluated on
+    the copy yield empty results.
+    """
+    factory = factory or NodeFactory()
+    return _copy_into(node, factory)
+
+
+def copy_into(node: Node, factory: NodeFactory) -> Node:
+    """Deep-copy *node* using an existing factory (same target tree)."""
+    return _copy_into(node, factory)
+
+
+def _copy_into(node: Node, factory: NodeFactory) -> Node:
+    if isinstance(node, DocumentNode):
+        copy = factory.document(node.uri)
+        for child in node.children:
+            copy.append(_copy_into(child, factory))
+        return copy
+    if isinstance(node, ElementNode):
+        copy = factory.element(node.name, node.ns_uri)
+        copy.namespace_declarations = dict(node.namespace_declarations)
+        for attribute in node.attributes:
+            copy.set_attribute(
+                factory.attribute(attribute.name, attribute.value, attribute.ns_uri))
+        for child in node.children:
+            copy.append(_copy_into(child, factory))
+        return copy
+    if isinstance(node, AttributeNode):
+        return factory.attribute(node.name, node.value, node.ns_uri)
+    if isinstance(node, TextNode):
+        return factory.text(node.content)
+    if isinstance(node, CommentNode):
+        return factory.comment(node.content)
+    if isinstance(node, ProcessingInstructionNode):
+        return factory.processing_instruction(node.target, node.content)
+    raise TypeError(f"cannot copy node kind {node.kind}")

@@ -1,0 +1,120 @@
+"""XML Schema atomic type lattice used by the XDM.
+
+The XRPC SOAP protocol annotates every atomic parameter value with its
+XML Schema type (``xsi:type="xs:string"`` etc.), so the type system needs
+to round-trip faithfully through messages.  We implement the subset of
+the XML Schema type hierarchy that XQuery 1.0 exposes as atomic types,
+plus ``xs:untypedAtomic`` and ``xs:anyAtomicType``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class XSType:
+    """A named XML Schema atomic type.
+
+    Types form a single-inheritance hierarchy rooted at
+    ``xs:anyAtomicType``; :meth:`derives_from` walks it.
+    """
+
+    def __init__(self, local_name: str, parent: Optional["XSType"]) -> None:
+        self.local_name = local_name
+        self.parent = parent
+
+    @property
+    def name(self) -> str:
+        """Prefixed lexical name, e.g. ``"xs:integer"``."""
+        return f"xs:{self.local_name}"
+
+    def derives_from(self, other: "XSType") -> bool:
+        """True if *self* is *other* or a (transitive) subtype of it."""
+        cursor: Optional[XSType] = self
+        while cursor is not None:
+            if cursor is other:
+                return True
+            cursor = cursor.parent
+        return False
+
+    @property
+    def is_numeric(self) -> bool:
+        return any(
+            self.derives_from(t)
+            for t in (xs.decimal, xs.double, xs.float)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"XSType({self.name})"
+
+
+class _Registry:
+    """Namespace-style holder of the built-in atomic types (``xs.*``)."""
+
+    def __init__(self) -> None:
+        self.anyAtomicType = XSType("anyAtomicType", None)
+        self.untypedAtomic = XSType("untypedAtomic", self.anyAtomicType)
+        self.string = XSType("string", self.anyAtomicType)
+        self.boolean = XSType("boolean", self.anyAtomicType)
+        self.decimal = XSType("decimal", self.anyAtomicType)
+        self.integer = XSType("integer", self.decimal)
+        self.long = XSType("long", self.integer)
+        self.int = XSType("int", self.long)
+        self.short = XSType("short", self.int)
+        self.byte = XSType("byte", self.short)
+        self.nonNegativeInteger = XSType("nonNegativeInteger", self.integer)
+        self.positiveInteger = XSType("positiveInteger", self.nonNegativeInteger)
+        self.unsignedLong = XSType("unsignedLong", self.nonNegativeInteger)
+        self.unsignedInt = XSType("unsignedInt", self.unsignedLong)
+        self.double = XSType("double", self.anyAtomicType)
+        self.float = XSType("float", self.anyAtomicType)
+        self.date = XSType("date", self.anyAtomicType)
+        self.time = XSType("time", self.anyAtomicType)
+        self.dateTime = XSType("dateTime", self.anyAtomicType)
+        self.duration = XSType("duration", self.anyAtomicType)
+        self.anyURI = XSType("anyURI", self.anyAtomicType)
+        self.QName = XSType("QName", self.anyAtomicType)
+        self.base64Binary = XSType("base64Binary", self.anyAtomicType)
+        self.hexBinary = XSType("hexBinary", self.anyAtomicType)
+        self.gYear = XSType("gYear", self.anyAtomicType)
+        self.gMonth = XSType("gMonth", self.anyAtomicType)
+        self.gDay = XSType("gDay", self.anyAtomicType)
+        self.normalizedString = XSType("normalizedString", self.string)
+        self.token = XSType("token", self.normalizedString)
+        self.language = XSType("language", self.token)
+        self.Name = XSType("Name", self.token)
+        self.NCName = XSType("NCName", self.Name)
+        self.ID = XSType("ID", self.NCName)
+        self.IDREF = XSType("IDREF", self.NCName)
+
+    def all_types(self) -> dict[str, XSType]:
+        return {
+            value.name: value
+            for value in vars(self).values()
+            if isinstance(value, XSType)
+        }
+
+
+xs = _Registry()
+UNTYPED_ATOMIC = xs.untypedAtomic
+
+_BY_NAME = xs.all_types()
+
+
+def type_by_name(name: str) -> XSType:
+    """Resolve a lexical type name like ``"xs:integer"`` to its type object.
+
+    Raises
+    ------
+    KeyError
+        If the name is not a known built-in atomic type.
+    """
+    if ":" not in name:
+        name = f"xs:{name}"
+    return _BY_NAME[name]
+
+
+def is_known_type(name: str) -> bool:
+    if ":" not in name:
+        name = f"xs:{name}"
+    return name in _BY_NAME

@@ -1,0 +1,20 @@
+"""From-scratch XML 1.0 infrastructure.
+
+The paper's system relies on an XML engine for shredding SOAP messages
+and serializing results; since the reproduction may not assume lxml, this
+package implements a small, well-formedness-checking XML parser that
+produces :mod:`repro.xdm` node trees, and a serializer that renders them
+back to markup.
+"""
+
+from repro.xml.parser import parse_document, parse_fragment, XMLSyntaxError
+from repro.xml.serializer import serialize, escape_text, escape_attribute
+
+__all__ = [
+    "parse_document",
+    "parse_fragment",
+    "XMLSyntaxError",
+    "serialize",
+    "escape_text",
+    "escape_attribute",
+]

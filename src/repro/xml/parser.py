@@ -1,0 +1,349 @@
+"""A small well-formedness-checking XML 1.0 parser.
+
+Produces :mod:`repro.xdm` trees with document order and namespace
+resolution (``xmlns`` / ``xmlns:prefix`` declarations are tracked and
+every element/attribute gets its resolved namespace URI).
+
+Supported: elements, attributes, text, CDATA, comments, processing
+instructions, character/entity references, the XML declaration, and a
+DOCTYPE declaration (skipped, internal subsets without markup decls).
+Not supported (raises): external entities, parameter entities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XRPCReproError
+from repro.xdm.nodes import DocumentNode, ElementNode, Node, NodeFactory
+
+
+class XMLSyntaxError(XRPCReproError):
+    """Raised on malformed XML input, with 1-based line/column info."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+        super().__init__(f"{message} (line {line}, column {column})")
+
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:-.")
+
+XMLNS_URI = "http://www.w3.org/2000/xmlns/"
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Scanner:
+    """Cursor over the raw XML text with position tracking."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def location(self) -> tuple[int, int]:
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str) -> XMLSyntaxError:
+        line, column = self.location()
+        return XMLSyntaxError(message, line, column)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_until(self, token: str, error_message: str) -> str:
+        index = self.text.find(token, self.pos)
+        if index < 0:
+            raise self.error(error_message)
+        chunk = self.text[self.pos:index]
+        self.pos = index + len(token)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.at_end() or not _is_name_start(self.peek()):
+            raise self.error("expected XML name")
+        self.advance()
+        while not self.at_end() and _is_name_char(self.peek()):
+            self.advance()
+        return self.text[start:self.pos]
+
+
+class _Parser:
+    def __init__(self, text: str, uri: Optional[str]) -> None:
+        self.scanner = _Scanner(text)
+        self.factory = NodeFactory()
+        self.uri = uri
+
+    # -- entry points ------------------------------------------------------
+
+    def parse_document(self) -> DocumentNode:
+        document = self.factory.document(self.uri)
+        scanner = self.scanner
+        self._skip_prolog(document)
+        scanner.skip_whitespace()
+        if scanner.at_end() or scanner.peek() != "<":
+            raise scanner.error("expected root element")
+        root = self._parse_element(namespaces={"xml": "http://www.w3.org/XML/1998/namespace"})
+        document.append(root)
+        # Trailing misc: comments / PIs / whitespace only.
+        while not scanner.at_end():
+            scanner.skip_whitespace()
+            if scanner.at_end():
+                break
+            if scanner.startswith("<!--"):
+                document.append(self._parse_comment())
+            elif scanner.startswith("<?"):
+                document.append(self._parse_pi())
+            else:
+                raise scanner.error("content after document element")
+        return document
+
+    # -- prolog -------------------------------------------------------------
+
+    def _skip_prolog(self, document: DocumentNode) -> None:
+        scanner = self.scanner
+        scanner.skip_whitespace()
+        if scanner.startswith("<?xml"):
+            scanner.read_until("?>", "unterminated XML declaration")
+        while True:
+            scanner.skip_whitespace()
+            if scanner.startswith("<!--"):
+                document.append(self._parse_comment())
+            elif scanner.startswith("<!DOCTYPE"):
+                self._skip_doctype()
+            elif scanner.startswith("<?"):
+                document.append(self._parse_pi())
+            else:
+                break
+
+    def _skip_doctype(self) -> None:
+        scanner = self.scanner
+        scanner.expect("<!DOCTYPE")
+        depth = 1
+        while depth > 0:
+            if scanner.at_end():
+                raise scanner.error("unterminated DOCTYPE")
+            ch = scanner.peek()
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth -= 1
+            scanner.advance()
+
+    # -- element content ------------------------------------------------------
+
+    def _parse_element(self, namespaces: dict[str, str]) -> ElementNode:
+        scanner = self.scanner
+        scanner.expect("<")
+        name = scanner.read_name()
+
+        raw_attributes: list[tuple[str, str]] = []
+        while True:
+            scanner.skip_whitespace()
+            if scanner.startswith("/>") or scanner.startswith(">"):
+                break
+            attr_name = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect("=")
+            scanner.skip_whitespace()
+            quote = scanner.peek()
+            if quote not in ("'", '"'):
+                raise scanner.error("attribute value must be quoted")
+            scanner.advance()
+            raw_value = scanner.read_until(quote, "unterminated attribute value")
+            if "<" in raw_value:
+                raise scanner.error("'<' in attribute value")
+            value = self._expand_references(raw_value)
+            if any(existing == attr_name for existing, _ in raw_attributes):
+                raise scanner.error(f"duplicate attribute {attr_name!r}")
+            raw_attributes.append((attr_name, value))
+
+        # Resolve namespaces: xmlns declarations on this element first.
+        scope = dict(namespaces)
+        declarations: dict[str, str] = {}
+        for attr_name, value in raw_attributes:
+            if attr_name == "xmlns":
+                scope[""] = value
+                declarations[""] = value
+            elif attr_name.startswith("xmlns:"):
+                prefix = attr_name.split(":", 1)[1]
+                scope[prefix] = value
+                declarations[prefix] = value
+
+        element = self.factory.element(name, self._resolve(name, scope, default=True))
+        element.namespace_declarations = declarations
+        for attr_name, value in raw_attributes:
+            if attr_name == "xmlns" or attr_name.startswith("xmlns:"):
+                ns_uri: Optional[str] = XMLNS_URI
+            else:
+                ns_uri = self._resolve(attr_name, scope, default=False)
+            element.set_attribute(self.factory.attribute(attr_name, value, ns_uri))
+
+        if scanner.startswith("/>"):
+            scanner.advance(2)
+            return element
+        scanner.expect(">")
+        self._parse_content(element, scope)
+        closing = scanner.read_name()
+        if closing != name:
+            raise scanner.error(
+                f"mismatched end tag: expected </{name}>, found </{closing}>")
+        scanner.skip_whitespace()
+        scanner.expect(">")
+        return element
+
+    def _parse_content(self, element: ElementNode, namespaces: dict[str, str]) -> None:
+        scanner = self.scanner
+        text_buffer: list[str] = []
+
+        def flush_text() -> None:
+            if text_buffer:
+                element.append(self.factory.text("".join(text_buffer)))
+                text_buffer.clear()
+
+        while True:
+            if scanner.at_end():
+                raise scanner.error(f"unterminated element <{element.name}>")
+            if scanner.startswith("</"):
+                flush_text()
+                scanner.advance(2)
+                return
+            if scanner.startswith("<!--"):
+                flush_text()
+                element.append(self._parse_comment())
+            elif scanner.startswith("<![CDATA["):
+                scanner.advance(9)
+                text_buffer.append(
+                    scanner.read_until("]]>", "unterminated CDATA section"))
+            elif scanner.startswith("<?"):
+                flush_text()
+                element.append(self._parse_pi())
+            elif scanner.peek() == "<":
+                flush_text()
+                element.append(self._parse_element(namespaces))
+            else:
+                start = scanner.pos
+                while not scanner.at_end() and scanner.peek() not in "<":
+                    scanner.advance()
+                raw = scanner.text[start:scanner.pos]
+                text_buffer.append(self._expand_references(raw))
+
+    def _parse_comment(self) -> Node:
+        self.scanner.expect("<!--")
+        content = self.scanner.read_until("-->", "unterminated comment")
+        if "--" in content:
+            raise self.scanner.error("'--' not allowed inside comment")
+        return self.factory.comment(content)
+
+    def _parse_pi(self) -> Node:
+        scanner = self.scanner
+        scanner.expect("<?")
+        target = scanner.read_name()
+        if target.lower() == "xml":
+            raise scanner.error("reserved processing-instruction target 'xml'")
+        raw = scanner.read_until("?>", "unterminated processing instruction")
+        return self.factory.processing_instruction(target, raw.strip())
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _expand_references(self, text: str) -> str:
+        if "&" not in text:
+            return text
+        parts: list[str] = []
+        index = 0
+        while index < len(text):
+            amp = text.find("&", index)
+            if amp < 0:
+                parts.append(text[index:])
+                break
+            parts.append(text[index:amp])
+            end = text.find(";", amp)
+            if end < 0:
+                raise self.scanner.error("unterminated entity reference")
+            entity = text[amp + 1:end]
+            if entity.startswith("#x") or entity.startswith("#X"):
+                parts.append(chr(int(entity[2:], 16)))
+            elif entity.startswith("#"):
+                parts.append(chr(int(entity[1:])))
+            elif entity in _PREDEFINED_ENTITIES:
+                parts.append(_PREDEFINED_ENTITIES[entity])
+            else:
+                raise self.scanner.error(f"unknown entity &{entity};")
+            index = end + 1
+        return "".join(parts)
+
+    def _resolve(self, qname: str, scope: dict[str, str],
+                 default: bool) -> Optional[str]:
+        if ":" in qname:
+            prefix, _ = qname.split(":", 1)
+            if prefix not in scope:
+                raise self.scanner.error(f"undeclared namespace prefix {prefix!r}")
+            return scope[prefix]
+        if default:
+            return scope.get("") or None
+        return None
+
+
+def parse_document(text: str, uri: Optional[str] = None) -> DocumentNode:
+    """Parse a complete XML document into an XDM document node.
+
+    Parameters
+    ----------
+    text:
+        The XML source.
+    uri:
+        Optional document URI recorded on the document node (what
+        ``fn:document-uri`` would return).
+    """
+    if isinstance(text, bytes):
+        text = text.decode("utf-8")
+    return _Parser(text, uri).parse_document()
+
+
+def parse_fragment(text: str) -> ElementNode:
+    """Parse a single element (fragment); returns the parentless element."""
+    document = parse_document(text)
+    root = document.root_element
+    if root is None:
+        raise XMLSyntaxError("fragment has no element", 1, 1)
+    root.parent = None
+    return root

@@ -1,0 +1,154 @@
+"""Serialization of XDM trees back to XML text.
+
+Mirrors the XQuery serialization spec closely enough for the XRPC
+protocol: predefined entities are escaped in text and attribute content,
+attributes keep document order, and an optional indent mode is provided
+for human-readable output (never used on the wire, where whitespace is
+significant).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.xdm.nodes import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    ProcessingInstructionNode,
+    TextNode,
+)
+
+
+def escape_text(text: str) -> str:
+    """Escape character data content."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def escape_attribute(text: str) -> str:
+    """Escape attribute values (quoted with double quotes)."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+def serialize(node: Node, indent: bool = False,
+              xml_declaration: bool = False) -> str:
+    """Serialize a node (tree) to XML text.
+
+    Parameters
+    ----------
+    node:
+        Any XDM node; documents serialize their children in order.
+    indent:
+        Pretty-print with two-space indentation.  Only safe for data
+        without mixed content.
+    xml_declaration:
+        Prepend ``<?xml version="1.0" encoding="utf-8"?>``.
+    """
+    pieces: list[str] = []
+    if xml_declaration:
+        pieces.append('<?xml version="1.0" encoding="utf-8"?>')
+        if indent:
+            pieces.append("\n")
+    _serialize_node(node, pieces, indent, level=0, scope={})
+    return "".join(pieces)
+
+
+def serialize_sequence(items: Iterable[object]) -> str:
+    """Serialize a sequence the way XQuery result output does.
+
+    Adjacent atomic values are separated by single spaces; nodes are
+    serialized as markup.
+    """
+    from repro.xdm.atomic import AtomicValue
+
+    pieces: list[str] = []
+    previous_atomic = False
+    for item in items:
+        if isinstance(item, AtomicValue):
+            if previous_atomic:
+                pieces.append(" ")
+            pieces.append(escape_text(item.string_value()))
+            previous_atomic = True
+        elif isinstance(item, Node):
+            pieces.append(serialize(item))
+            previous_atomic = False
+        else:
+            raise TypeError(f"cannot serialize {type(item).__name__}")
+    return "".join(pieces)
+
+
+def _serialize_node(node: Node, out: list[str], indent: bool, level: int,
+                    scope: dict[str, str]) -> None:
+    pad = "  " * level if indent else ""
+    if isinstance(node, DocumentNode):
+        for child in node.children:
+            _serialize_node(child, out, indent, level, scope)
+            if indent:
+                out.append("\n")
+        return
+    if isinstance(node, ElementNode):
+        declarations = dict(node.namespace_declarations)
+        child_scope = {**scope, **declarations}
+        # Auto-declare prefixes in use on this element but unbound in scope
+        # (constructed trees carry resolved ns_uri without xmlns attrs).
+        for owner in (node, *node.attributes):
+            name = owner.name
+            ns_uri = getattr(owner, "ns_uri", None)
+            if ":" not in name or ns_uri is None:
+                continue
+            prefix = name.split(":", 1)[0]
+            if prefix in ("xml", "xmlns"):
+                continue
+            if child_scope.get(prefix) != ns_uri:
+                declarations[prefix] = ns_uri
+                child_scope[prefix] = ns_uri
+        out.append(f"{pad}<{node.name}")
+        for prefix, uri in sorted(declarations.items()):
+            name = "xmlns" if prefix == "" else f"xmlns:{prefix}"
+            if not any(a.name == name for a in node.attributes):
+                out.append(f' {name}="{escape_attribute(uri)}"')
+        for attribute in node.attributes:
+            out.append(f' {attribute.name}="{escape_attribute(attribute.value)}"')
+        if not node.children:
+            out.append("/>")
+            return
+        out.append(">")
+        only_text = all(isinstance(c, TextNode) for c in node.children)
+        if indent and not only_text:
+            for child in node.children:
+                out.append("\n")
+                _serialize_node(child, out, indent, level + 1, child_scope)
+            out.append(f"\n{pad}</{node.name}>")
+        else:
+            for child in node.children:
+                _serialize_node(child, out, indent=False, level=0,
+                                scope=child_scope)
+            out.append(f"</{node.name}>")
+        return
+    if isinstance(node, TextNode):
+        out.append(pad + escape_text(node.content))
+        return
+    if isinstance(node, CommentNode):
+        out.append(f"{pad}<!--{node.content}-->")
+        return
+    if isinstance(node, ProcessingInstructionNode):
+        out.append(f"{pad}<?{node.target} {node.content}?>")
+        return
+    if isinstance(node, AttributeNode):
+        # A standalone attribute serializes like the paper's example:
+        # <xrpc:attribute x="y"/> wraps it; bare attributes render name="value".
+        out.append(f'{node.name}="{escape_attribute(node.value)}"')
+        return
+    raise TypeError(f"cannot serialize node kind {node.kind}")

@@ -1,0 +1,225 @@
+"""XQuery lexer.
+
+XQuery is not lexically regular — keywords are contextual and direct XML
+constructors embed a different token language — so this lexer is a lazy
+cursor the parser drives: :meth:`Lexer.next` produces the next token from
+the current position, and the parser can save/restore positions for
+backtracking, or take over raw character scanning inside direct
+constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import StaticError
+
+# Longest-match symbol table (order matters only within same first char).
+_SYMBOLS = [
+    ":=", "<<", ">>", "!=", "<=", ">=", "//", "..",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "@", "|",
+    "+", "-", "*", "/", "=", "<", ">", "?", ":",
+]
+
+
+@dataclass
+class Token:
+    kind: str   # NAME VAR STRING INTEGER DECIMAL DOUBLE SYMBOL EOF
+    value: str
+    pos: int
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == "SYMBOL" and self.value == symbol
+
+    def is_name(self, name: str) -> bool:
+        return self.kind == "NAME" and self.value == name
+
+
+def _is_ncname_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ncname_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-."
+
+
+class Lexer:
+    """Lazy tokenizer over XQuery source text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # -- errors ------------------------------------------------------------
+
+    def location(self, pos: Optional[int] = None) -> tuple[int, int]:
+        pos = self.pos if pos is None else pos
+        consumed = self.text[:pos]
+        line = consumed.count("\n") + 1
+        column = pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str, pos: Optional[int] = None) -> StaticError:
+        line, column = self.location(pos)
+        return StaticError("XPST0003", f"{message} (line {line}, column {column})")
+
+    # -- raw access (for direct constructors) -------------------------------
+
+    def save(self) -> int:
+        return self.pos
+
+    def restore(self, pos: int) -> None:
+        self.pos = pos
+
+    def raw_peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def raw_advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def raw_startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    # -- whitespace / comments ---------------------------------------------
+
+    def skip_trivia(self) -> None:
+        """Skip whitespace and (nested) ``(: ... :)`` comments."""
+        while self.pos < self.length:
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("(:", self.pos):
+                depth = 1
+                self.pos += 2
+                while self.pos < self.length and depth > 0:
+                    if self.text.startswith("(:", self.pos):
+                        depth += 1
+                        self.pos += 2
+                    elif self.text.startswith(":)", self.pos):
+                        depth -= 1
+                        self.pos += 2
+                    else:
+                        self.pos += 1
+                if depth > 0:
+                    raise self.error("unterminated comment")
+            else:
+                break
+
+    # -- tokens --------------------------------------------------------------
+
+    def peek(self) -> Token:
+        saved = self.pos
+        token = self.next()
+        self.pos = saved
+        return token
+
+    def next(self) -> Token:
+        self.skip_trivia()
+        if self.pos >= self.length:
+            return Token("EOF", "", self.pos)
+        start = self.pos
+        ch = self.text[self.pos]
+
+        if ch == "$":
+            self.pos += 1
+            name = self._read_qname()
+            return Token("VAR", name, start)
+
+        if ch in "'\"":
+            return Token("STRING", self._read_string_literal(ch), start)
+
+        if ch.isdigit() or (ch == "." and self.raw_peek(1).isdigit()):
+            return self._read_number(start)
+
+        if _is_ncname_start(ch):
+            name = self._read_qname()
+            return Token("NAME", name, start)
+
+        for symbol in _SYMBOLS:
+            if self.text.startswith(symbol, self.pos):
+                # '..' must not swallow the start of a number like '.5'
+                self.pos += len(symbol)
+                return Token("SYMBOL", symbol, start)
+
+        raise self.error(f"unexpected character {ch!r}")
+
+    def _read_qname(self) -> str:
+        start = self.pos
+        if self.pos >= self.length or not _is_ncname_start(self.text[self.pos]):
+            raise self.error("expected name")
+        self.pos += 1
+        while self.pos < self.length and _is_ncname_char(self.text[self.pos]):
+            self.pos += 1
+        # Optional single ':NCName' suffix for QNames (but not '::' axes).
+        if (self.raw_peek() == ":" and self.raw_peek(1) != ":"
+                and self.raw_peek(1) and (_is_ncname_start(self.raw_peek(1))
+                                          or self.raw_peek(1) == "*")):
+            self.pos += 1
+            if self.raw_peek() == "*":
+                self.pos += 1
+            else:
+                self.pos += 1
+                while self.pos < self.length and _is_ncname_char(self.text[self.pos]):
+                    self.pos += 1
+        return self.text[start:self.pos]
+
+    def _read_string_literal(self, quote: str) -> str:
+        self.pos += 1
+        pieces: list[str] = []
+        while True:
+            if self.pos >= self.length:
+                raise self.error("unterminated string literal")
+            ch = self.text[self.pos]
+            if ch == quote:
+                if self.raw_peek(1) == quote:  # doubled quote = escape
+                    pieces.append(quote)
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return "".join(pieces)
+            if ch == "&":
+                pieces.append(self._read_entity())
+                continue
+            pieces.append(ch)
+            self.pos += 1
+
+    def _read_entity(self) -> str:
+        end = self.text.find(";", self.pos)
+        if end < 0:
+            raise self.error("unterminated entity reference")
+        entity = self.text[self.pos + 1:end]
+        self.pos = end + 1
+        table = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+        if entity in table:
+            return table[entity]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            return chr(int(entity[2:], 16))
+        if entity.startswith("#"):
+            return chr(int(entity[1:]))
+        raise self.error(f"unknown entity &{entity};")
+
+    def _read_number(self, start: int) -> Token:
+        kind = "INTEGER"
+        while self.pos < self.length and self.text[self.pos].isdigit():
+            self.pos += 1
+        if self.raw_peek() == "." and self.raw_peek(1) != ".":
+            kind = "DECIMAL"
+            self.pos += 1
+            while self.pos < self.length and self.text[self.pos].isdigit():
+                self.pos += 1
+        if self.raw_peek() in ("e", "E"):
+            lookahead = 1
+            if self.raw_peek(1) in ("+", "-"):
+                lookahead = 2
+            if self.raw_peek(lookahead).isdigit():
+                kind = "DOUBLE"
+                self.pos += lookahead + 1
+                while self.pos < self.length and self.text[self.pos].isdigit():
+                    self.pos += 1
+        text = self.text[start:self.pos]
+        if self.pos < self.length and _is_ncname_start(self.text[self.pos]):
+            raise self.error(f"invalid number literal {text!r}")
+        return Token(kind, text, start)

@@ -1,0 +1,440 @@
+"""Abstract syntax tree for the XQuery subset (+ XQUF, + XRPC).
+
+Every node is a small dataclass.  The module is named ``xast`` to avoid
+shadowing the standard library :mod:`ast`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.xdm.atomic import AtomicValue
+from repro.xdm.types import XSType
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Types
+
+
+@dataclass
+class ItemType:
+    """An item type in a sequence type.
+
+    ``kind`` is one of: ``"item"``, ``"atomic"``, ``"node"``,
+    ``"element"``, ``"attribute"``, ``"document"``, ``"text"``,
+    ``"comment"``, ``"processing-instruction"``, ``"empty"``.
+    """
+
+    kind: str
+    atomic_type: Optional[XSType] = None
+    name: Optional[str] = None  # for element(name) / attribute(name)
+
+
+@dataclass
+class SequenceType:
+    """item type + occurrence indicator ('' | '?' | '*' | '+')."""
+
+    item_type: ItemType
+    occurrence: str = ""
+
+    @staticmethod
+    def zero_or_more_items() -> "SequenceType":
+        return SequenceType(ItemType("item"), "*")
+
+
+# ---------------------------------------------------------------------------
+# Primary expressions
+
+
+@dataclass
+class Literal(Expr):
+    value: AtomicValue
+
+
+@dataclass
+class VarRef(Expr):
+    name: str  # lexical QName without the '$'
+
+
+@dataclass
+class ContextItem(Expr):
+    pass
+
+
+@dataclass
+class SequenceExpr(Expr):
+    """Comma operator; () is SequenceExpr([])."""
+
+    items: list[Expr]
+
+
+@dataclass
+class RangeExpr(Expr):
+    start: Expr
+    end: Expr
+
+
+@dataclass
+class Arithmetic(Expr):
+    op: str  # + - * div idiv mod
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # + -
+    operand: Expr
+
+
+@dataclass
+class Comparison(Expr):
+    kind: str  # "general" | "value" | "node"
+    op: str    # = != < <= > >= eq ne lt le gt ge is << >>
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Logical(Expr):
+    op: str  # "and" | "or"
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class IfExpr(Expr):
+    condition: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+
+# ---------------------------------------------------------------------------
+# FLWOR
+
+
+@dataclass
+class ForClause:
+    var: str
+    position_var: Optional[str]
+    source: Expr
+
+
+@dataclass
+class LetClause:
+    var: str
+    value: Expr
+
+
+@dataclass
+class WhereClause:
+    condition: Expr
+
+
+@dataclass
+class OrderSpec:
+    key: Expr
+    descending: bool = False
+    empty_least: bool = True
+
+
+@dataclass
+class OrderByClause:
+    specs: list[OrderSpec]
+    stable: bool = False
+
+
+FLWORClause = Union[ForClause, LetClause, WhereClause, OrderByClause]
+
+
+@dataclass
+class FLWOR(Expr):
+    clauses: list[FLWORClause]
+    return_expr: Expr
+
+
+@dataclass
+class Quantified(Expr):
+    kind: str  # "some" | "every"
+    bindings: list[tuple[str, Expr]]
+    satisfies: Expr
+
+
+# ---------------------------------------------------------------------------
+# Paths
+
+
+@dataclass
+class NameTest:
+    """Name test; wildcard forms: ``*``, ``p:*``, ``*:local``."""
+
+    prefix: Optional[str]
+    local: str  # "*" for wildcard
+
+
+@dataclass
+class KindTest:
+    """node() / text() / comment() / processing-instruction(t) /
+    element(n) / attribute(n) / document-node()."""
+
+    kind: str
+    name: Optional[str] = None
+
+
+NodeTest = Union[NameTest, KindTest]
+
+
+@dataclass
+class AxisStep:
+    axis: str  # child, descendant, attribute, self, parent, ...
+    node_test: NodeTest
+    predicates: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class PathExpr(Expr):
+    """A relative or absolute path.
+
+    ``start`` is the expression producing the initial node sequence:
+    ``None`` means the context item; the special marker ``"root"``/
+    ``"root-descendant"`` (in ``absolute``) means the root of the context
+    item's tree (``/`` and ``//`` prefixes).
+    """
+
+    start: Optional[Expr]
+    steps: list[AxisStep]
+    absolute: str = "none"  # "none" | "root" | "root-descendant"
+
+
+@dataclass
+class FilterExpr(Expr):
+    """A primary expression followed by predicates: ``expr[pred]``."""
+
+    base: Expr
+    predicates: list[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Functions and XRPC
+
+
+@dataclass
+class FunctionCall(Expr):
+    name: str  # lexical QName
+    args: list[Expr]
+
+
+@dataclass
+class ExecuteAt(Expr):
+    """The XRPC extension: ``execute at { dest } { call }``."""
+
+    destination: Expr
+    call: FunctionCall
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+
+
+ContentPart = Union[str, Expr]  # literal text or enclosed expression
+
+
+@dataclass
+class DirectElement(Expr):
+    name: str
+    attributes: list[tuple[str, list[ContentPart]]]
+    content: list[ContentPart]
+
+
+@dataclass
+class ComputedElement(Expr):
+    name: Union[str, Expr]
+    content: Optional[Expr]
+
+
+@dataclass
+class ComputedAttribute(Expr):
+    name: Union[str, Expr]
+    content: Optional[Expr]
+
+
+@dataclass
+class ComputedText(Expr):
+    content: Optional[Expr]
+
+
+@dataclass
+class ComputedComment(Expr):
+    content: Optional[Expr]
+
+
+@dataclass
+class ComputedPI(Expr):
+    target: Union[str, Expr]
+    content: Optional[Expr]
+
+
+@dataclass
+class ComputedDocument(Expr):
+    content: Optional[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Type operators
+
+
+@dataclass
+class CastExpr(Expr):
+    operand: Expr
+    type_name: str
+    allow_empty: bool
+
+
+@dataclass
+class CastableExpr(Expr):
+    operand: Expr
+    type_name: str
+    allow_empty: bool
+
+
+@dataclass
+class InstanceOf(Expr):
+    operand: Expr
+    seq_type: SequenceType
+
+
+@dataclass
+class TreatAs(Expr):
+    operand: Expr
+    seq_type: SequenceType
+
+
+@dataclass
+class TypeSwitchCase:
+    var: Optional[str]
+    seq_type: Optional[SequenceType]  # None for default
+    body: Expr
+
+
+@dataclass
+class TypeSwitch(Expr):
+    operand: Expr
+    cases: list[TypeSwitchCase]
+    default: TypeSwitchCase
+
+
+# ---------------------------------------------------------------------------
+# Set operators
+
+
+@dataclass
+class SetOp(Expr):
+    op: str  # "union" | "intersect" | "except"
+    left: Expr
+    right: Expr
+
+
+# ---------------------------------------------------------------------------
+# XQuery Update Facility
+
+
+@dataclass
+class InsertExpr(Expr):
+    source: Expr
+    target: Expr
+    position: str  # "into" | "first" | "last" | "before" | "after"
+
+
+@dataclass
+class DeleteExpr(Expr):
+    target: Expr
+
+
+@dataclass
+class ReplaceExpr(Expr):
+    target: Expr
+    replacement: Expr
+    value_of: bool
+
+
+@dataclass
+class RenameExpr(Expr):
+    target: Expr
+    new_name: Expr
+
+
+# ---------------------------------------------------------------------------
+# Prolog / modules
+
+
+@dataclass
+class Param:
+    name: str
+    seq_type: SequenceType
+
+
+@dataclass
+class FunctionDecl:
+    name: str  # lexical QName
+    params: list[Param]
+    return_type: SequenceType
+    body: Optional[Expr]  # None if external
+    updating: bool = False
+    # Filled during module binding:
+    namespace_uri: Optional[str] = None
+    local_name: Optional[str] = None
+    module: object = None  # repro.xquery.modules.Module
+
+
+@dataclass
+class VarDecl:
+    name: str
+    seq_type: SequenceType
+    value: Optional[Expr]
+    external: bool = False
+
+
+@dataclass
+class NamespaceDecl:
+    prefix: str
+    uri: str
+
+
+@dataclass
+class ModuleImport:
+    prefix: str
+    uri: str
+    locations: list[str]
+
+
+@dataclass
+class SchemaImport:
+    prefix: Optional[str]
+    uri: str
+    locations: list[str]
+
+
+@dataclass
+class OptionDecl:
+    name: str
+    value: str
+
+
+@dataclass
+class QueryModule:
+    """A parsed main or library module."""
+
+    kind: str  # "main" | "library"
+    module_namespace: Optional[NamespaceDecl]  # library modules only
+    namespaces: list[NamespaceDecl]
+    imports: list[ModuleImport]
+    schema_imports: list[SchemaImport]
+    options: list[OptionDecl]
+    variables: list[VarDecl]
+    functions: list[FunctionDecl]
+    body: Optional[Expr]  # main modules only

@@ -1,0 +1,41 @@
+"""XQuery Update Facility (XQUF) — pending update lists and apply.
+
+The paper's update semantics (section 2.3) hinge on the XQUF execution
+model: updating expressions do not mutate anything during evaluation;
+they emit *update primitives* into a pending update list (PUL).  Only
+``applyUpdates(Δ)`` carries the changes through — immediately after each
+XRPC request under rule R_Fu, or deferred to 2PC commit under rule
+R'_Fu.
+"""
+
+from repro.xquf.pul import (
+    PendingUpdateList,
+    UpdatePrimitive,
+    InsertInto,
+    InsertFirst,
+    InsertLast,
+    InsertBefore,
+    InsertAfter,
+    DeleteNode,
+    ReplaceNode,
+    ReplaceValue,
+    RenameNode,
+    PutDocument,
+    apply_updates,
+)
+
+__all__ = [
+    "PendingUpdateList",
+    "UpdatePrimitive",
+    "InsertInto",
+    "InsertFirst",
+    "InsertLast",
+    "InsertBefore",
+    "InsertAfter",
+    "DeleteNode",
+    "ReplaceNode",
+    "ReplaceValue",
+    "RenameNode",
+    "PutDocument",
+    "apply_updates",
+]

@@ -1,0 +1,256 @@
+"""Update primitives, pending update lists, and applyUpdates().
+
+Matches the XQUF draft the paper cites: each updating expression appends
+a primitive describing *what* to change; :func:`apply_updates` performs
+the side effects.  Per the paper (end of section 2.3), when the same node
+is updated twice in one query the application order of the conflicting
+actions is non-deterministic, so unioning PULs from multiple XRPC calls
+is sound — :meth:`PendingUpdateList.merge` implements exactly that union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import UpdateError
+from repro.xdm.nodes import (
+    AttributeNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    NodeFactory,
+    TextNode,
+    copy_tree,
+)
+
+
+class UpdatePrimitive:
+    """Base class of all update primitives."""
+
+    target: Node
+
+    def apply(self) -> None:
+        raise NotImplementedError
+
+
+def _require_element_or_document(node: Node, verb: str) -> None:
+    if not isinstance(node, (ElementNode, DocumentNode)):
+        raise UpdateError(
+            "XUTY0005", f"{verb} target must be an element or document node")
+
+
+def _insert_children(parent: Node, nodes: list[Node], index: int) -> None:
+    _require_element_or_document(parent, "insert")
+    offset = 0
+    for node in nodes:
+        if isinstance(node, AttributeNode):
+            if not isinstance(parent, ElementNode):
+                raise UpdateError(
+                    "XUTY0022", "attributes may only be inserted into elements")
+            parent.set_attribute(node)
+            continue
+        node.parent = parent
+        parent.children.insert(index + offset, node)
+        offset += 1
+
+
+def _child_index(node: Node) -> int:
+    parent = node.parent
+    if parent is None:
+        raise UpdateError("XUDY0027", "target has no parent")
+    for index, child in enumerate(parent.children):
+        if child is node:
+            return index
+    raise UpdateError("XUDY0027", "target detached from parent")
+
+
+@dataclass
+class InsertInto(UpdatePrimitive):
+    target: Node
+    content: list[Node]
+
+    def apply(self) -> None:
+        _insert_children(self.target, self.content, len(self.target.children))
+
+
+@dataclass
+class InsertFirst(UpdatePrimitive):
+    target: Node
+    content: list[Node]
+
+    def apply(self) -> None:
+        _insert_children(self.target, self.content, 0)
+
+
+@dataclass
+class InsertLast(UpdatePrimitive):
+    target: Node
+    content: list[Node]
+
+    def apply(self) -> None:
+        _insert_children(self.target, self.content, len(self.target.children))
+
+
+@dataclass
+class InsertBefore(UpdatePrimitive):
+    target: Node
+    content: list[Node]
+
+    def apply(self) -> None:
+        parent = self.target.parent
+        if parent is None:
+            raise UpdateError("XUDY0027", "insert before target has no parent")
+        _insert_children(parent, self.content, _child_index(self.target))
+
+
+@dataclass
+class InsertAfter(UpdatePrimitive):
+    target: Node
+    content: list[Node]
+
+    def apply(self) -> None:
+        parent = self.target.parent
+        if parent is None:
+            raise UpdateError("XUDY0027", "insert after target has no parent")
+        _insert_children(parent, self.content, _child_index(self.target) + 1)
+
+
+@dataclass
+class DeleteNode(UpdatePrimitive):
+    target: Node
+
+    def apply(self) -> None:
+        parent = self.target.parent
+        if parent is None:
+            return  # deleting a root: becomes detached, nothing to do
+        if isinstance(self.target, AttributeNode):
+            assert isinstance(parent, ElementNode)
+            parent.attributes[:] = [
+                a for a in parent.attributes if a is not self.target]
+        else:
+            parent.children[:] = [
+                c for c in parent.children if c is not self.target]
+        self.target.parent = None
+
+
+@dataclass
+class ReplaceNode(UpdatePrimitive):
+    target: Node
+    replacement: list[Node]
+
+    def apply(self) -> None:
+        parent = self.target.parent
+        if parent is None:
+            raise UpdateError("XUDY0009", "replace target has no parent")
+        if isinstance(self.target, AttributeNode):
+            assert isinstance(parent, ElementNode)
+            index = next(
+                i for i, a in enumerate(parent.attributes) if a is self.target)
+            parent.attributes.pop(index)
+            for offset, node in enumerate(self.replacement):
+                if not isinstance(node, AttributeNode):
+                    raise UpdateError(
+                        "XUTY0011", "attribute may only be replaced by attributes")
+                node.parent = parent
+                parent.attributes.insert(index + offset, node)
+            return
+        index = _child_index(self.target)
+        parent.children.pop(index)
+        self.target.parent = None
+        _insert_children(parent, self.replacement, index)
+
+
+@dataclass
+class ReplaceValue(UpdatePrimitive):
+    target: Node
+    value: str
+
+    def apply(self) -> None:
+        if isinstance(self.target, AttributeNode):
+            self.target.value = self.value
+            return
+        if isinstance(self.target, TextNode):
+            self.target.content = self.value
+            return
+        if isinstance(self.target, ElementNode):
+            factory = NodeFactory()
+            self.target.children.clear()
+            if self.value:
+                text = factory.text(self.value)
+                text.parent = self.target
+                self.target.children.append(text)
+            return
+        raise UpdateError("XUTY0008", "replace value target kind unsupported")
+
+
+@dataclass
+class RenameNode(UpdatePrimitive):
+    target: Node
+    new_name: str
+
+    def apply(self) -> None:
+        if isinstance(self.target, (ElementNode, AttributeNode)):
+            self.target.name = self.new_name
+            return
+        raise UpdateError("XUTY0012", "rename target must be element or attribute")
+
+
+@dataclass
+class PutDocument(UpdatePrimitive):
+    """fn:put() — store a document at a URI (data shipping write)."""
+
+    target: Node
+    uri: str
+    store: Optional[Callable[[str, Node], None]] = None
+
+    def apply(self) -> None:
+        if self.store is None:
+            raise UpdateError("FOUP0002", f"no document store for fn:put({self.uri!r})")
+        node = self.target
+        if not isinstance(node, DocumentNode):
+            document = NodeFactory().document(self.uri)
+            document.append(copy_tree(node))
+            node = document
+        self.store(self.uri, node)
+
+
+@dataclass
+class PendingUpdateList:
+    """An ordered collection of update primitives (Δ in the paper)."""
+
+    primitives: list[UpdatePrimitive] = field(default_factory=list)
+
+    def add(self, primitive: UpdatePrimitive) -> None:
+        self.primitives.append(primitive)
+
+    def merge(self, other: "PendingUpdateList") -> None:
+        """Union with another PUL (Δ ∪ Δ'), order preserved per-list."""
+        self.primitives.extend(other.primitives)
+
+    def __len__(self) -> int:
+        return len(self.primitives)
+
+    def __bool__(self) -> bool:
+        return bool(self.primitives)
+
+
+def apply_updates(pul: PendingUpdateList) -> None:
+    """applyUpdates(Δ): carry through all changes in the list.
+
+    Deletions are applied last (after inserts/replaces), following the
+    XQUF semantics that the primitives operate against the pre-update
+    tree as far as observable.
+    """
+    # Mutations invalidate any equality-predicate indexes cached on the
+    # affected trees (see the evaluator's _axis_value_index).
+    for primitive in pul.primitives:
+        root = primitive.target.root()
+        if hasattr(root, "_xq_value_indexes"):
+            delattr(root, "_xq_value_indexes")
+    deletions = [p for p in pul.primitives if isinstance(p, DeleteNode)]
+    for primitive in pul.primitives:
+        if not isinstance(primitive, DeleteNode):
+            primitive.apply()
+    for primitive in deletions:
+        primitive.apply()

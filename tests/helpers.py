@@ -1,0 +1,46 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xdm.atomic import AtomicValue
+from repro.xdm.nodes import Node
+from repro.xml import parse_document
+from repro.xquery.evaluator import evaluate_query
+from repro.xquery.modules import ModuleRegistry
+
+
+def run(source: str, docs: Optional[dict[str, str]] = None,
+        modules: Optional[dict[str, str]] = None, **kwargs):
+    """Evaluate an XQuery; docs maps uri->xml text, modules location->source."""
+    registry = ModuleRegistry()
+    for location, module_source in (modules or {}).items():
+        registry.register_source(module_source, location=location)
+    parsed = {uri: parse_document(text, uri=uri) for uri, text in (docs or {}).items()}
+    resolver = parsed.get if docs else None
+    return evaluate_query(source, registry=registry, doc_resolver=resolver, **kwargs)
+
+
+def values(sequence) -> list:
+    """Python values of an all-atomic result sequence."""
+    result = []
+    for item in sequence:
+        assert isinstance(item, AtomicValue), f"expected atomic, got {item!r}"
+        result.append(item.value)
+    return result
+
+
+def strings(sequence) -> list[str]:
+    return [item.string_value() for item in sequence]
+
+
+def xml(sequence) -> str:
+    """Serialize a result sequence to a single XML string."""
+    from repro.xml.serializer import serialize_sequence
+    return serialize_sequence(sequence)
+
+
+def single_node(sequence) -> Node:
+    assert len(sequence) == 1 and isinstance(sequence[0], Node), sequence
+    return sequence[0]

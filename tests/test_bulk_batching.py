@@ -1,0 +1,164 @@
+"""Tests for the Bulk RPC batching executor's hard cases.
+
+The two-phase executor (record -> bulk ship -> replay) must stay
+correct when calls depend on other calls' results, when phase 1 fails,
+and when updating calls are in play — these are the paths where naive
+batching would break semantics.
+"""
+
+import pytest
+
+from repro.net import SimulatedNetwork
+from repro.rpc import XRPCPeer
+from tests.helpers import strings, values
+
+CHAIN_MODULE = """
+module namespace c = "urn:chain";
+declare function c:step1() as xs:string { "alpha" };
+declare function c:step2($token as xs:string) as xs:string
+{ concat($token, "-beta") };
+declare function c:whoami() as xs:string
+{ string(doc("self.xml")/self) };
+"""
+
+
+@pytest.fixture
+def site():
+    network = SimulatedNetwork()
+    origin = XRPCPeer("origin", network)
+    served = XRPCPeer("served", network)
+    for peer in (origin, served):
+        peer.registry.register_source(CHAIN_MODULE, location="c.xq")
+    served.store.register("self.xml", "<self>served</self>")
+    return network, origin, served
+
+
+class TestDependentCalls:
+    def test_second_call_depends_on_first(self, site):
+        """step2's argument is step1's result: phase 1 records step2 with
+        a wrong (placeholder-derived) argument; phase 3 must detect the
+        mismatch and ship it directly."""
+        network, origin, served = site
+        query = """
+        import module namespace c = "urn:chain" at "c.xq";
+        let $token := execute at {"xrpc://served"} { c:step1() }
+        return execute at {"xrpc://served"} { c:step2($token) }
+        """
+        result = origin.execute_query(query)
+        assert values(result.sequence) == ["alpha-beta"]
+
+    def test_dependent_chain_in_loop(self, site):
+        network, origin, served = site
+        query = """
+        import module namespace c = "urn:chain" at "c.xq";
+        for $i in (1, 2)
+        let $token := execute at {"xrpc://served"} { c:step1() }
+        return execute at {"xrpc://served"} { c:step2($token) }
+        """
+        result = origin.execute_query(query)
+        assert values(result.sequence) == ["alpha-beta", "alpha-beta"]
+
+    def test_result_used_in_control_flow(self, site):
+        network, origin, served = site
+        query = """
+        import module namespace c = "urn:chain" at "c.xq";
+        if (execute at {"xrpc://served"} { c:step1() } = "alpha")
+        then execute at {"xrpc://served"} { c:step2("yes") }
+        else "never"
+        """
+        result = origin.execute_query(query)
+        assert values(result.sequence) == ["yes-beta"]
+
+    def test_phase1_error_falls_back_to_direct(self, site):
+        """exactly-one() fails on phase 1's empty placeholder; the
+        executor must fall back to direct execution and still succeed."""
+        network, origin, served = site
+        query = """
+        import module namespace c = "urn:chain" at "c.xq";
+        exactly-one(execute at {"xrpc://served"} { c:step1() })
+        """
+        result = origin.execute_query(query)
+        assert values(result.sequence) == ["alpha"]
+
+
+class TestBulkWithUpdates:
+    UPDATE_MODULE = """
+    module namespace u = "urn:u";
+    declare updating function u:append($v as xs:string)
+    { insert node <e>{$v}</e> into doc("log.xml")/log };
+    declare function u:size() as xs:integer
+    { count(doc("log.xml")/log/e) };
+    """
+
+    def test_bulk_updating_calls_apply_once(self):
+        """Phase 1 records without sending; phase 3 replays without
+        re-sending — each update must land exactly once."""
+        network = SimulatedNetwork()
+        origin = XRPCPeer("origin", network)
+        served = XRPCPeer("served", network)
+        for peer in (origin, served):
+            peer.registry.register_source(self.UPDATE_MODULE, location="u.xq")
+        served.store.register("log.xml", "<log/>")
+        query = """
+        import module namespace u = "urn:u" at "u.xq";
+        for $v in ("a", "b", "c")
+        return execute at {"xrpc://served"} { u:append($v) }
+        """
+        result = origin.execute_query(query)
+        assert result.messages_sent == 1  # one bulk updating message
+        entries = served.store.get("log.xml").root_element.children
+        assert [e.string_value() for e in entries] == ["a", "b", "c"]
+
+    def test_read_after_update_sees_rfu_semantics(self):
+        """Without isolation (rule R_Fu) updates apply per-request, so a
+        later read in the same query observes them."""
+        network = SimulatedNetwork()
+        origin = XRPCPeer("origin", network)
+        served = XRPCPeer("served", network)
+        for peer in (origin, served):
+            peer.registry.register_source(self.UPDATE_MODULE, location="u.xq")
+        served.store.register("log.xml", "<log/>")
+        query = """
+        import module namespace u = "urn:u" at "u.xq";
+        ( execute at {"xrpc://served"} { u:append("x") },
+          execute at {"xrpc://served"} { u:size() } )
+        """
+        result = origin.execute_query(query, force_one_at_a_time=True)
+        assert values(result.sequence) == [1]
+
+
+class TestGroupingBoundaries:
+    def test_different_functions_different_messages(self, site):
+        network, origin, served = site
+        query = """
+        import module namespace c = "urn:chain" at "c.xq";
+        ( execute at {"xrpc://served"} { c:step1() },
+          execute at {"xrpc://served"} { c:whoami() } )
+        """
+        result = origin.execute_query(query)
+        assert values(result.sequence) == ["alpha", "served"]
+        # Bulk groups by (destination, function): two groups here.
+        assert result.messages_sent == 2
+
+    def test_same_function_same_args_multiple_iterations(self, site):
+        network, origin, served = site
+        query = """
+        import module namespace c = "urn:chain" at "c.xq";
+        for $i in (1 to 4)
+        return execute at {"xrpc://served"} { c:step1() }
+        """
+        result = origin.execute_query(query)
+        assert values(result.sequence) == ["alpha"] * 4
+        assert result.messages_sent == 1
+        assert result.calls_shipped == 4
+
+    def test_empty_loop_sends_nothing(self, site):
+        network, origin, served = site
+        network.reset_stats()
+        query = """
+        import module namespace c = "urn:chain" at "c.xq";
+        for $i in () return execute at {"xrpc://served"} { c:step1() }
+        """
+        result = origin.execute_query(query)
+        assert result.sequence == []
+        assert network.messages_sent == 0

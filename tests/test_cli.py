@@ -1,0 +1,88 @@
+"""Tests for the command-line XQuery runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def films_file(tmp_path):
+    path = tmp_path / "films.xml"
+    path.write_text("""<films>
+    <film><name>The Rock</name><actor>Sean Connery</actor></film>
+    <film><name>Green Card</name><actor>Gerard Depardieu</actor></film>
+    </films>""")
+    return path
+
+
+class TestCLI:
+    def test_inline_expression(self, capsys):
+        assert main(["-e", "1 + 1"]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_query_file(self, tmp_path, capsys):
+        query = tmp_path / "q.xq"
+        query.write_text("for $i in (1 to 3) return $i * 10")
+        assert main([str(query)]) == 0
+        assert capsys.readouterr().out.strip() == "10 20 30"
+
+    def test_doc_mount(self, films_file, capsys):
+        assert main([
+            "-e", "doc('filmDB.xml')//name/text()",
+            "--doc", f"filmDB.xml={films_file}",
+        ]) == 0
+        assert capsys.readouterr().out.strip() == "The RockGreen Card"
+
+    def test_doc_mount_bare_path_uses_filename(self, films_file, capsys):
+        assert main([
+            "-e", "count(doc('films.xml')//film)",
+            "--doc", str(films_file),
+        ]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_module_registration(self, tmp_path, films_file, capsys):
+        module = tmp_path / "film.xq"
+        module.write_text("""
+        module namespace film = "films";
+        declare function film:byActor($a as xs:string) as node()*
+        { doc("filmDB.xml")//name[../actor = $a] };
+        """)
+        assert main([
+            "-e", ('import module namespace f="films" at "film.xq"; '
+                   'f:byActor("Sean Connery")'),
+            "--module", f"film.xq={module}",
+            "--doc", f"filmDB.xml={films_file}",
+        ]) == 0
+        assert "<name>The Rock</name>" in capsys.readouterr().out
+
+    def test_external_variable(self, capsys):
+        assert main(["-e", "declare variable $who external; concat('hi ', $who)",
+                     "--var", "who=world"]) == 0
+        assert capsys.readouterr().out.strip() == "hi world"
+
+    def test_update_and_save(self, tmp_path, films_file, capsys):
+        out_path = tmp_path / "updated.xml"
+        assert main([
+            "-e", "insert node <film><name>New</name></film> "
+                  "into doc('filmDB.xml')/films",
+            "--doc", f"filmDB.xml={films_file}",
+            "--save", f"filmDB.xml={out_path}",
+        ]) == 0
+        assert "<name>New</name>" in out_path.read_text()
+
+    def test_error_exit_code(self, capsys):
+        assert main(["-e", "1 +"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([])
+        query = tmp_path / "q.xq"
+        query.write_text("1")
+        with pytest.raises(SystemExit):
+            main([str(query), "-e", "2"])
+
+    def test_indent_output(self, capsys):
+        assert main(["-e", "<a><b>1</b></a>", "--indent"]) == 0
+        out = capsys.readouterr().out
+        assert "  <b>1</b>" in out

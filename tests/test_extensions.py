@@ -1,0 +1,200 @@
+"""Tests for the paper's optional/extension features:
+
+* the function-cache pre-parser (section 3.3),
+* SOAP XRPC message validation (XRPC.xsd, section 2.1),
+* the xrpc:nodeid call-by-fragment extension (footnote 4).
+"""
+
+import pytest
+
+from repro.engine.preparser import PreparedFunctionCache, preparse
+from repro.soap import XRPCRequest, build_fault, build_request, build_response
+from repro.soap import XRPCResponse
+from repro.soap.nodeid import message_bytes_saved, n2s_call, s2n_call
+from repro.soap.validation import validate_message
+from repro.xdm import integer, string, xs
+from repro.xml import parse_document, serialize
+from repro.xml.parser import parse_fragment
+
+
+class TestPreparser:
+    def test_detects_constant_call(self):
+        call = preparse("""
+        import module namespace f = "films" at "http://x/film.xq";
+        f:filmsByActor("Sean Connery")
+        """)
+        assert call is not None
+        assert call.module_uri == "films"
+        assert call.location == "http://x/film.xq"
+        assert call.local_name == "filmsByActor"
+        assert call.arguments == [string("Sean Connery")]
+
+    def test_detects_multiple_literal_types(self):
+        call = preparse("""
+        import module namespace m = "urn:m";
+        m:f("s", 42, 3.5)
+        """)
+        assert call is not None
+        assert [a.type.name for a in call.arguments] == \
+            ["xs:string", "xs:integer", "xs:decimal"]
+
+    def test_zero_argument_call(self):
+        call = preparse('import module namespace m = "u"; m:go()')
+        assert call is not None
+        assert call.arity == 0
+
+    @pytest.mark.parametrize("query", [
+        "1 + 1",                                           # no import
+        'import module namespace m = "u"; m:f($x)',        # variable arg
+        'import module namespace m = "u"; m:f(1 + 1)',     # expression arg
+        'import module namespace m = "u"; other:f(1)',     # prefix mismatch
+        'import module namespace m = "u"; m:f(1), 2',      # trailing expr
+        'import module namespace m = "u"; for $x in m:f(1) return $x',
+    ])
+    def test_rejects_general_queries(self, query):
+        assert preparse(query) is None
+
+    def test_cache_fast_path(self):
+        from repro.xquery.context import DynamicContext, StaticContext
+        from repro.xquery.modules import ModuleRegistry
+
+        registry = ModuleRegistry()
+        registry.register_source("""
+        module namespace m = "urn:m";
+        declare function m:double($x as xs:integer) as xs:integer { $x * 2 };
+        """)
+        cache = PreparedFunctionCache(registry)
+        fallback_calls = []
+
+        result = cache.execute(
+            'import module namespace m = "urn:m"; m:double(21)',
+            make_context=lambda: DynamicContext(StaticContext()),
+            fallback=lambda src: fallback_calls.append(src) or [])
+        assert result == [integer(42)]
+        assert cache.hits == 1
+        assert not fallback_calls
+
+        cache.execute("1 + 1",
+                      make_context=lambda: DynamicContext(StaticContext()),
+                      fallback=lambda src: fallback_calls.append(src) or [])
+        assert cache.misses == 1
+        assert fallback_calls == ["1 + 1"]
+
+
+class TestMessageValidation:
+    def _request_text(self) -> str:
+        request = XRPCRequest(module="films", method="filmsByActor", arity=1,
+                              location="f.xq")
+        request.add_call([[string("Sean Connery")]])
+        return build_request(request)
+
+    def test_valid_request(self):
+        report = validate_message(self._request_text())
+        assert report.valid, report.errors
+        assert report.message_kind == "request"
+
+    def test_valid_response(self):
+        response = XRPCResponse(module="m", method="f",
+                                results=[[integer(1)], []])
+        report = validate_message(build_response(response))
+        assert report.valid, report.errors
+        assert report.message_kind == "response"
+
+    def test_valid_fault(self):
+        report = validate_message(build_fault("env:Sender", "nope"))
+        assert report.valid
+        assert report.message_kind == "fault"
+
+    def test_not_xml(self):
+        report = validate_message("garbage <")
+        assert not report.valid
+
+    def test_wrong_root(self):
+        report = validate_message("<not-an-envelope/>")
+        assert not report.valid
+
+    def test_missing_arity(self):
+        text = self._request_text().replace(' arity="1"', "")
+        report = validate_message(text)
+        assert any("arity" in e for e in report.errors)
+
+    def test_arity_mismatch_detected(self):
+        text = self._request_text().replace('arity="1"', 'arity="2"')
+        report = validate_message(text)
+        assert any("parameter sequences" in e for e in report.errors)
+
+    def test_unknown_value_element(self):
+        text = self._request_text().replace(
+            "<xrpc:atomic-value", "<xrpc:mystery-value").replace(
+            "</xrpc:atomic-value>", "</xrpc:mystery-value>")
+        report = validate_message(text)
+        assert any("invalid value element" in e for e in report.errors)
+
+    def test_unknown_xsd_type(self):
+        text = self._request_text().replace("xs:string", "xs:nonsense")
+        report = validate_message(text)
+        assert any("unknown XML Schema type" in e for e in report.errors)
+
+    def test_txn_command_validates(self):
+        from repro.soap.messages import QueryID, TxnCommand, build_txn_command
+        text = build_txn_command(TxnCommand("prepare", QueryID("h", 1.0, 9)))
+        report = validate_message(text)
+        assert report.valid
+        assert report.message_kind == "txn"
+
+
+class TestNodeIdExtension:
+    def test_descendant_becomes_reference(self):
+        tree = parse_fragment("<a><b><c>leaf</c></b><d/></a>")
+        c = tree.children[0].children[0]
+        sequences = s2n_call([[tree], [c]])
+        holder = sequences[1].child_elements()[0]
+        nodeid = holder.get_attribute("xrpc:nodeid")
+        assert nodeid is not None
+        assert nodeid.value == "0.0/0/0"
+        assert holder.children == []  # no duplicated serialization
+
+    def test_relationship_preserved_after_round_trip(self):
+        tree = parse_fragment("<a><b><c>leaf</c></b></a>")
+        c = tree.children[0].children[0]
+        wire = [parse_fragment(serialize(s)) for s in s2n_call([[tree], [c]])]
+        [[tree_copy], [c_copy]] = n2s_call(wire)
+        # The paper's guarantee: the descendant relationship survives.
+        assert c_copy.root() is tree_copy
+        assert c_copy in list(tree_copy.descendants())
+        assert c_copy.string_value() == "leaf"
+
+    def test_self_reference(self):
+        tree = parse_fragment("<a><b/></a>")
+        [[copy1], [copy2]] = n2s_call(
+            [parse_fragment(serialize(s)) for s in s2n_call([[tree], [tree]])])
+        assert copy1 is copy2  # descendant-or-*self*
+
+    def test_unrelated_nodes_serialize_fully(self):
+        left = parse_fragment("<x>1</x>")
+        right = parse_fragment("<y>2</y>")
+        sequences = s2n_call([[left], [right]])
+        for sequence in sequences:
+            holder = sequence.child_elements()[0]
+            assert holder.get_attribute("xrpc:nodeid") is None
+
+    def test_atomics_pass_through(self):
+        [[value]] = n2s_call(s2n_call([[integer(5)]]))
+        assert value == integer(5)
+        assert value.type is xs.integer
+
+    def test_compression_benefit(self):
+        # A large anchor + its descendant: by-fragment must shrink the
+        # message (the paper: "useful for compressing the SOAP message").
+        tree = parse_fragment(
+            "<a>" + "<b><c>text content here</c></b>" * 50 + "</a>")
+        big_child = tree.children[10]
+        saved = message_bytes_saved([[tree], [big_child]])
+        assert saved > 0
+
+    def test_plain_interop(self):
+        # Sequences without nodeids decode identically via n2s_call.
+        from repro.soap import n2s, s2n
+        sequence = [string("x"), integer(2)]
+        wire = parse_fragment(serialize(s2n(sequence)))
+        assert n2s_call([wire]) == [sequence]

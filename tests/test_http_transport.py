@@ -1,0 +1,90 @@
+"""Real loopback HTTP transport tests: SOAP XRPC over actual sockets."""
+
+import pytest
+
+from repro.engine import TreeEngine
+from repro.errors import TransportError, XRPCFault
+from repro.net import HttpTransport, HttpXRPCServer
+from repro.net.transport import normalize_peer_uri
+from repro.rpc import XRPCPeer
+from repro.soap import XRPCRequest, build_request, parse_response
+from repro.wrapper import XRPCWrapper
+from repro.xdm.atomic import integer, string
+from tests.helpers import values
+
+ECHO_MODULE = """
+module namespace m = "urn:echo";
+declare function m:double($x as xs:integer) as xs:integer { $x * 2 };
+"""
+
+
+class TestNormalizePeerUri:
+    @pytest.mark.parametrize("uri,expected", [
+        ("xrpc://y.example.org", "y.example.org"),
+        ("xrpc://y.example.org:8080/db", "y.example.org:8080"),
+        ("xrpc://host/", "host"),
+        ("http://host:99/x", "host:99"),
+        ("bare-host", "bare-host"),
+        ("xrpc://", "localhost"),
+    ])
+    def test_normalization(self, uri, expected):
+        assert normalize_peer_uri(uri) == expected
+
+
+class TestHttpRoundTrip:
+    def test_request_response_over_http(self):
+        wrapper = XRPCWrapper(engine=TreeEngine())
+        wrapper.engine.registry.register_source(ECHO_MODULE, location="e.xq")
+        with HttpXRPCServer(wrapper.handle) as server:
+            transport = HttpTransport({"peer": server.address})
+            request = XRPCRequest(module="urn:echo", method="double",
+                                  arity=1, location="e.xq")
+            request.add_call([[integer(21)]])
+            raw = transport.send("xrpc://peer", build_request(request))
+            response = parse_response(raw)
+            assert response.results == [[integer(42)]]
+
+    def test_bulk_over_http(self):
+        wrapper = XRPCWrapper(engine=TreeEngine())
+        wrapper.engine.registry.register_source(ECHO_MODULE, location="e.xq")
+        with HttpXRPCServer(wrapper.handle) as server:
+            transport = HttpTransport({"peer": server.address})
+            request = XRPCRequest(module="urn:echo", method="double",
+                                  arity=1, location="e.xq")
+            for value in (1, 2, 3):
+                request.add_call([[integer(value)]])
+            response = parse_response(
+                transport.send("peer", build_request(request)))
+            assert response.results == [[integer(2)], [integer(4)], [integer(6)]]
+
+    def test_fault_over_http(self):
+        wrapper = XRPCWrapper(engine=TreeEngine())  # no modules registered
+        with HttpXRPCServer(wrapper.handle) as server:
+            transport = HttpTransport({"peer": server.address})
+            request = XRPCRequest(module="ghost", method="f", arity=0)
+            request.add_call([])
+            raw = transport.send("peer", build_request(request))
+            with pytest.raises(XRPCFault):
+                parse_response(raw)
+
+    def test_unreachable_peer(self):
+        transport = HttpTransport({"peer": "127.0.0.1:1"})  # closed port
+        with pytest.raises(TransportError):
+            transport.send("peer", "<x/>")
+
+    def test_full_peer_query_over_http(self):
+        """An XRPCPeer originating a distributed query over real HTTP."""
+        serving_peer_transport = HttpTransport()
+        serving = XRPCPeer("served", serving_peer_transport)
+        serving.registry.register_source(ECHO_MODULE, location="e.xq")
+        with HttpXRPCServer(serving.server.handle) as server:
+            transport = HttpTransport({"served": server.address})
+            origin = XRPCPeer("origin", transport)
+            origin.registry.register_source(ECHO_MODULE, location="e.xq")
+            result = origin.execute_query("""
+            import module namespace m = "urn:echo" at "e.xq";
+            for $i in (1 to 5)
+            return execute at {"xrpc://served"} { m:double($i) }
+            """)
+            assert values(result.sequence) == [2, 4, 6, 8, 10]
+            assert result.messages_sent == 1  # bulk over one HTTP POST

@@ -1,0 +1,120 @@
+"""Unit tests for the XQuery lexer."""
+
+import pytest
+
+from repro.errors import StaticError
+from repro.xquery.lexer import Lexer
+
+
+def tokens(source: str) -> list[tuple[str, str]]:
+    lexer = Lexer(source)
+    result = []
+    while True:
+        token = lexer.next()
+        if token.kind == "EOF":
+            return result
+        result.append((token.kind, token.value))
+
+
+class TestBasicTokens:
+    def test_integer(self):
+        assert tokens("42") == [("INTEGER", "42")]
+
+    def test_decimal(self):
+        assert tokens("3.14") == [("DECIMAL", "3.14")]
+
+    def test_double(self):
+        assert tokens("1e3 2.5E-2") == [("DOUBLE", "1e3"), ("DOUBLE", "2.5E-2")]
+
+    def test_string_single_and_double_quotes(self):
+        assert tokens("'a' \"b\"") == [("STRING", "a"), ("STRING", "b")]
+
+    def test_string_doubled_quote_escape(self):
+        assert tokens('"he said ""hi"""') == [("STRING", 'he said "hi"')]
+
+    def test_string_entities(self):
+        assert tokens("'&lt;&amp;'") == [("STRING", "<&")]
+
+    def test_variable(self):
+        assert tokens("$actor") == [("VAR", "actor")]
+
+    def test_prefixed_variable(self):
+        assert tokens("$f:x") == [("VAR", "f:x")]
+
+    def test_qname(self):
+        assert tokens("film:filmsByActor") == [("NAME", "film:filmsByActor")]
+
+    def test_wildcard_qname(self):
+        assert tokens("p:*") == [("NAME", "p:*")]
+
+    def test_name_with_dots_and_dashes(self):
+        assert tokens("starts-with doc-available") == [
+            ("NAME", "starts-with"), ("NAME", "doc-available")]
+
+
+class TestSymbols:
+    @pytest.mark.parametrize("source,expected", [
+        (":=", [":="]),
+        ("<<", ["<<"]),
+        (">=", [">="]),
+        ("!=", ["!="]),
+        ("//", ["//"]),
+        ("..", [".."]),
+        ("( )", ["(", ")"]),
+        ("+ - * |", ["+", "-", "*", "|"]),
+    ])
+    def test_symbol(self, source, expected):
+        assert [v for _, v in tokens(source)] == expected
+
+    def test_axis_not_merged_into_qname(self):
+        # 'child::a' must lex as NAME 'child', then '::' handling is the
+        # parser's job — the lexer must not produce 'child::a'.
+        lexer = Lexer("child::a")
+        first = lexer.next()
+        assert first == ("NAME", "child", 0) or (first.kind, first.value) == ("NAME", "child")
+
+
+class TestComments:
+    def test_comment_skipped(self):
+        assert tokens("1 (: note :) 2") == [("INTEGER", "1"), ("INTEGER", "2")]
+
+    def test_nested_comments(self):
+        assert tokens("(: outer (: inner :) still :) 5") == [("INTEGER", "5")]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(StaticError):
+            tokens("(: never closed")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(StaticError):
+            tokens("'open")
+
+    def test_bad_number(self):
+        with pytest.raises(StaticError):
+            tokens("12abc")
+
+    def test_error_location(self):
+        lexer = Lexer("1 +\n  'bad")
+        lexer.next()
+        lexer.next()
+        with pytest.raises(StaticError) as info:
+            lexer.next()
+        assert "line 2" in str(info.value)
+
+
+class TestSaveRestore:
+    def test_backtracking(self):
+        lexer = Lexer("for $x in")
+        saved = lexer.save()
+        assert lexer.next().value == "for"
+        assert lexer.next().kind == "VAR"
+        lexer.restore(saved)
+        assert lexer.next().value == "for"
+
+    def test_peek_does_not_consume(self):
+        lexer = Lexer("a b")
+        assert lexer.peek().value == "a"
+        assert lexer.next().value == "a"
+        assert lexer.next().value == "b"

@@ -1,0 +1,130 @@
+"""Unit tests for SequenceType matching and function conversion rules."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.xdm import integer, string, untyped, xs
+from repro.xdm.atomic import AtomicValue
+from repro.xml import parse_document, parse_fragment
+from repro.xquery import xast as A
+from repro.xquery.seqtype import convert_value, describe, sequence_matches
+
+
+def atomic_type(ts, occurrence=""):
+    return A.SequenceType(A.ItemType("atomic", atomic_type=ts), occurrence)
+
+
+def kind_type(kind, occurrence="", name=None):
+    return A.SequenceType(A.ItemType(kind, name=name), occurrence)
+
+
+class TestSequenceMatches:
+    def test_exact_one(self):
+        assert sequence_matches([integer(1)], atomic_type(xs.integer))
+        assert not sequence_matches([], atomic_type(xs.integer))
+        assert not sequence_matches([integer(1), integer(2)],
+                                    atomic_type(xs.integer))
+
+    def test_occurrence_star(self):
+        st = atomic_type(xs.integer, "*")
+        assert sequence_matches([], st)
+        assert sequence_matches([integer(1), integer(2)], st)
+
+    def test_occurrence_plus(self):
+        st = atomic_type(xs.integer, "+")
+        assert not sequence_matches([], st)
+        assert sequence_matches([integer(1)], st)
+
+    def test_occurrence_question(self):
+        st = atomic_type(xs.integer, "?")
+        assert sequence_matches([], st)
+        assert sequence_matches([integer(1)], st)
+        assert not sequence_matches([integer(1), integer(2)], st)
+
+    def test_subtype_matches(self):
+        # xs:integer derives from xs:decimal.
+        assert sequence_matches([integer(1)], atomic_type(xs.decimal))
+        assert not sequence_matches(
+            [AtomicValue(1, xs.decimal)], atomic_type(xs.integer))
+
+    def test_node_kinds(self):
+        element = parse_fragment("<a><b/></a>")
+        doc = parse_document("<r/>")
+        assert sequence_matches([element], kind_type("element"))
+        assert sequence_matches([element], kind_type("node"))
+        assert sequence_matches([doc], kind_type("document"))
+        assert not sequence_matches([element], kind_type("document"))
+        assert not sequence_matches([integer(1)], kind_type("node"))
+
+    def test_named_element_test(self):
+        element = parse_fragment("<person/>")
+        assert sequence_matches([element], kind_type("element", name="person"))
+        assert not sequence_matches([element], kind_type("element", name="film"))
+
+    def test_empty_sequence_type(self):
+        st = A.SequenceType(A.ItemType("empty"))
+        assert sequence_matches([], st)
+        assert not sequence_matches([integer(1)], st)
+
+    def test_item_any(self):
+        st = A.SequenceType(A.ItemType("item"), "*")
+        assert sequence_matches([integer(1), parse_fragment("<a/>")], st)
+
+
+class TestConvertValue:
+    def test_untyped_cast_to_target(self):
+        [converted] = convert_value([untyped("5")],
+                                    atomic_type(xs.integer), "t")
+        assert converted.type is xs.integer
+        assert converted.value == 5
+
+    def test_node_atomized_then_cast(self):
+        node = parse_fragment("<a>7</a>")
+        [converted] = convert_value([node], atomic_type(xs.integer), "t")
+        assert converted.value == 7
+
+    def test_numeric_promotion_to_double(self):
+        [converted] = convert_value([integer(3)], atomic_type(xs.double), "t")
+        assert converted.type is xs.double
+
+    def test_anyuri_promotes_to_string(self):
+        [converted] = convert_value(
+            [AtomicValue("http://x", xs.anyURI)], atomic_type(xs.string), "t")
+        assert converted.type is xs.string
+
+    def test_incompatible_type_rejected(self):
+        with pytest.raises(TypeError_):
+            convert_value([string("x")], atomic_type(xs.integer), "t")
+
+    def test_cardinality_enforced(self):
+        with pytest.raises(TypeError_):
+            convert_value([integer(1), integer(2)],
+                          atomic_type(xs.integer), "t")
+        with pytest.raises(TypeError_):
+            convert_value([], atomic_type(xs.integer), "t")
+
+    def test_node_kind_enforced(self):
+        with pytest.raises(TypeError_):
+            convert_value([integer(1)], kind_type("element"), "t")
+
+    def test_empty_type_rejects_content(self):
+        with pytest.raises(TypeError_):
+            convert_value([integer(1)],
+                          A.SequenceType(A.ItemType("empty")), "t")
+
+    def test_item_star_passes_anything(self):
+        items = [integer(1), parse_fragment("<a/>")]
+        assert convert_value(items, A.SequenceType(A.ItemType("item"), "*"),
+                             "t") == items
+
+
+class TestDescribe:
+    @pytest.mark.parametrize("st,expected", [
+        (atomic_type(xs.integer), "xs:integer"),
+        (atomic_type(xs.string, "*"), "xs:string*"),
+        (kind_type("element", "?"), "element()?"),
+        (A.SequenceType(A.ItemType("empty")), "empty-sequence()"),
+        (A.SequenceType(A.ItemType("item"), "+"), "item()+"),
+    ])
+    def test_rendering(self, st, expected):
+        assert describe(st) == expected

@@ -1,0 +1,237 @@
+"""SOAP XRPC protocol tests: marshaling, messages, bulk RPC, faults."""
+
+import pytest
+
+from repro.errors import XRPCFault
+from repro.soap import (
+    QueryID,
+    XRPCFaultMessage,
+    XRPCRequest,
+    XRPCResponse,
+    build_fault,
+    build_request,
+    build_response,
+    n2s,
+    parse_message,
+    parse_request,
+    parse_response,
+    s2n,
+)
+from repro.xdm import deep_equal, double, integer, string, untyped, xs
+from repro.xdm.atomic import AtomicValue
+from repro.xdm.nodes import AttributeNode, NodeFactory
+from repro.xml import parse_document, parse_fragment
+
+
+class TestMarshaling:
+    def test_atomic_round_trip(self):
+        original = [string("abc"), integer(42)]
+        assert n2s(s2n(original)) == original
+
+    def test_heterogeneous_sequence(self):
+        # The paper's example: integer 2 and double 3.1.
+        original = [integer(2), double(3.1)]
+        result = n2s(s2n(original))
+        assert result[0].type is xs.integer
+        assert result[1].type is xs.double
+        assert result == original
+
+    def test_empty_sequence(self):
+        assert n2s(s2n([])) == []
+
+    def test_untyped_atomic(self):
+        [value] = n2s(s2n([untyped("x")]))
+        assert value.type is xs.untypedAtomic
+
+    def test_boolean_and_decimal(self):
+        from decimal import Decimal
+        original = [AtomicValue(True, xs.boolean),
+                    AtomicValue(Decimal("2.50"), xs.decimal)]
+        result = n2s(s2n(original))
+        assert result[0].value is True
+        assert result[1].value == Decimal("2.5")
+
+    def test_element_by_value(self):
+        element = parse_fragment("<name>The Rock</name>")
+        [copy] = n2s(s2n([element]))
+        assert copy is not element
+        assert copy.parent is None            # standalone fragment
+        assert deep_equal([copy], [element])
+
+    def test_upward_axes_empty_after_round_trip(self):
+        doc = parse_document("<films><film><name>X</name></film></films>")
+        name = doc.root_element.children[0].children[0]
+        [copy] = n2s(s2n([name]))
+        assert list(copy.ancestors()) == []
+        assert copy.root() is copy
+
+    def test_descendant_relationship_destroyed(self):
+        # Paper section 2.2: two nodes in a descendant-or-self relation
+        # lose the relation when marshaled separately.
+        doc = parse_document("<a><b/></a>")
+        a = doc.root_element
+        b = a.children[0]
+        copy_a, copy_b = n2s(s2n([a, b]))
+        assert copy_b.parent is None
+        assert copy_b not in list(copy_a.descendants())
+
+    def test_attribute_node(self):
+        factory = NodeFactory()
+        attribute = factory.attribute("x", "y")
+        [copy] = n2s(s2n([attribute]))
+        assert isinstance(copy, AttributeNode)
+        assert copy.name == "x"
+        assert copy.value == "y"
+
+    def test_text_comment_pi(self):
+        factory = NodeFactory()
+        items = [
+            factory.text("hello"),
+            factory.comment("note"),
+            factory.processing_instruction("t", "d"),
+        ]
+        result = n2s(s2n(items))
+        assert [n.kind for n in result] == \
+            ["text", "comment", "processing-instruction"]
+        assert result[0].string_value() == "hello"
+        assert result[2].target == "t"
+
+    def test_document_node(self):
+        doc = parse_document("<r><c/></r>")
+        [copy] = n2s(s2n([doc]))
+        assert copy.kind == "document"
+        assert copy.root_element.name == "r"
+
+    def test_special_characters_escaped(self):
+        original = [string("<&>\"'")]
+        from repro.xml.serializer import serialize
+        text = serialize(s2n(original))
+        reparsed = parse_fragment(text)
+        assert n2s(reparsed) == original
+
+    def test_unknown_type_degrades_to_untyped(self):
+        text = ('<xrpc:sequence xmlns:xrpc="http://monetdb.cwi.nl/XQuery" '
+                'xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance">'
+                '<xrpc:atomic-value xsi:type="my:custom">v</xrpc:atomic-value>'
+                '</xrpc:sequence>')
+        [value] = n2s(parse_fragment(text))
+        assert value.type is xs.untypedAtomic
+        assert value.value == "v"
+
+
+class TestRequestMessages:
+    def _paper_request(self) -> XRPCRequest:
+        request = XRPCRequest(
+            module="films", method="filmsByActor", arity=1,
+            location="http://x.example.org/film.xq")
+        request.add_call([[string("Sean Connery")]])
+        return request
+
+    def test_paper_example_round_trip(self):
+        text = build_request(self._paper_request())
+        parsed = parse_request(text)
+        assert parsed.module == "films"
+        assert parsed.method == "filmsByActor"
+        assert parsed.arity == 1
+        assert parsed.location == "http://x.example.org/film.xq"
+        assert len(parsed.calls) == 1
+        [[param]] = parsed.calls
+        assert param == [string("Sean Connery")]
+
+    def test_message_shape_matches_paper(self):
+        text = build_request(self._paper_request())
+        doc = parse_document(text)
+        envelope = doc.root_element
+        assert envelope.local_name == "Envelope"
+        body = envelope.children[0]
+        request = body.children[0]
+        assert request.get_attribute("module").value == "films"
+        call = request.children[0]
+        assert call.local_name == "call"
+        sequence = call.children[0]
+        assert sequence.local_name == "sequence"
+        atomic = sequence.children[0]
+        assert atomic.get_attribute("xsi:type").value == "xs:string"
+        assert atomic.string_value() == "Sean Connery"
+
+    def test_bulk_request(self):
+        # Section 3.2: two calls in one message (Julie Andrews, Sean Connery).
+        request = XRPCRequest(module="films", method="filmsByActor", arity=1,
+                              location="http://x.example.org/film.xq")
+        request.add_call([[string("Julie Andrews")]])
+        request.add_call([[string("Sean Connery")]])
+        parsed = parse_request(build_request(request))
+        assert parsed.is_bulk
+        assert len(parsed.calls) == 2
+        assert parsed.calls[0][0] == [string("Julie Andrews")]
+        assert parsed.calls[1][0] == [string("Sean Connery")]
+
+    def test_query_id_round_trip(self):
+        request = self._paper_request()
+        request.query_id = QueryID(host="p0.example.org", timestamp=123.5,
+                                   timeout=30)
+        parsed = parse_request(build_request(request))
+        assert parsed.query_id is not None
+        assert parsed.query_id.host == "p0.example.org"
+        assert parsed.query_id.timestamp == 123.5
+        assert parsed.query_id.timeout == 30
+
+    def test_updating_flag(self):
+        request = self._paper_request()
+        request.updating = True
+        assert parse_request(build_request(request)).updating
+
+    def test_arity_mismatch_rejected(self):
+        request = XRPCRequest(module="m", method="f", arity=2)
+        with pytest.raises(XRPCFault):
+            request.add_call([[string("only-one")]])
+
+    def test_multi_parameter_call(self):
+        request = XRPCRequest(module="m", method="getPerson", arity=2)
+        request.add_call([[string("auctions.xml")], [string("person0")]])
+        parsed = parse_request(build_request(request))
+        assert len(parsed.calls[0]) == 2
+
+
+class TestResponseMessages:
+    def test_response_round_trip(self):
+        rock = parse_fragment("<name>The Rock</name>")
+        goldfinger = parse_fragment("<name>Goldfinger</name>")
+        response = XRPCResponse(module="films", method="filmsByActor",
+                                results=[[rock, goldfinger]])
+        parsed = parse_response(build_response(response))
+        assert parsed.module == "films"
+        assert len(parsed.results) == 1
+        assert [n.string_value() for n in parsed.results[0]] == \
+            ["The Rock", "Goldfinger"]
+
+    def test_bulk_response_one_sequence_per_call(self):
+        response = XRPCResponse(module="m", method="f",
+                                results=[[integer(1)], [], [integer(3)]])
+        parsed = parse_response(build_response(response))
+        assert parsed.results == [[integer(1)], [], [integer(3)]]
+
+    def test_participants_piggyback(self):
+        response = XRPCResponse(module="m", method="f", results=[[]])
+        response.participating_peers = ["xrpc://b", "xrpc://c"]
+        parsed = parse_response(build_response(response))
+        assert parsed.participating_peers == ["xrpc://b", "xrpc://c"]
+
+
+class TestFaults:
+    def test_fault_round_trip(self):
+        text = build_fault("env:Sender", "could not load module!")
+        message = parse_message(text)
+        assert isinstance(message, XRPCFaultMessage)
+        assert message.fault_code == "env:Sender"
+        assert message.reason == "could not load module!"
+
+    def test_parse_response_raises_on_fault(self):
+        text = build_fault("env:Sender", "boom")
+        with pytest.raises(XRPCFault) as info:
+            parse_response(text)
+        assert "boom" in str(info.value)
+
+    def test_non_soap_rejected(self):
+        with pytest.raises(XRPCFault):
+            parse_message("<not-soap/>")

@@ -1,0 +1,114 @@
+"""Unit tests for the versioned document store and snapshots."""
+
+import pytest
+
+from repro.errors import DynamicError, TransactionError
+from repro.rpc.store import DocumentStore
+from repro.xml import parse_document
+
+
+class TestDocumentStore:
+    def test_register_and_get(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a/>")
+        assert store.get("a.xml").root_element.name == "a"
+
+    def test_register_parsed_document(self):
+        store = DocumentStore()
+        doc = parse_document("<b/>")
+        store.register("b.xml", doc)
+        assert store.get("b.xml") is doc
+        assert doc.uri == "b.xml"
+
+    def test_missing_document(self):
+        with pytest.raises(DynamicError):
+            DocumentStore().get("nope.xml")
+
+    def test_contains(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a/>")
+        assert store.contains("a.xml")
+        assert not store.contains("b.xml")
+
+    def test_version_increments_on_register(self):
+        store = DocumentStore()
+        assert store.version("a.xml") == 0
+        store.register("a.xml", "<a/>")
+        assert store.version("a.xml") == 1
+        store.register("a.xml", "<a2/>")
+        assert store.version("a.xml") == 2
+
+    def test_bump_version(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a/>")
+        store.bump_version("a.xml")
+        assert store.version("a.xml") == 2
+
+    def test_uris(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a/>")
+        store.register("b.xml", "<b/>")
+        assert sorted(store.uris()) == ["a.xml", "b.xml"]
+
+
+class TestSnapshot:
+    def test_snapshot_is_stable_view(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a>old</a>")
+        snapshot = store.snapshot()
+        old = snapshot.get("a.xml")
+        store.register("a.xml", "<a>new</a>")
+        # The snapshot still sees the old content.
+        assert snapshot.get("a.xml") is old
+        assert old.root_element.string_value() == "old"
+        assert store.get("a.xml").root_element.string_value() == "new"
+
+    def test_snapshot_copies_have_fresh_identity(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a/>")
+        snapshot = store.snapshot()
+        assert snapshot.get("a.xml") is not store.get("a.xml")
+
+    def test_lazy_copy_records_base_version(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a/>")
+        snapshot = store.snapshot()
+        assert snapshot.base_version("a.xml") is None  # not accessed yet
+        snapshot.get("a.xml")
+        assert snapshot.base_version("a.xml") == 1
+
+    def test_conflict_detection(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a/>")
+        snapshot = store.snapshot()
+        snapshot.get("a.xml")
+        assert snapshot.has_conflicts(["a.xml"]) == []
+        store.register("a.xml", "<a2/>")  # competing commit
+        assert snapshot.has_conflicts(["a.xml"]) == ["a.xml"]
+
+    def test_commit_into_store_swaps_version(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a>v1</a>")
+        snapshot = store.snapshot()
+        copy = snapshot.get("a.xml")
+        copy.root_element.children[0].content = "v2"
+        snapshot.commit_into_store(["a.xml"])
+        assert store.get("a.xml").root_element.string_value() == "v2"
+        assert store.version("a.xml") == 2
+
+    def test_commit_conflict_raises(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a/>")
+        snapshot = store.snapshot()
+        snapshot.get("a.xml")
+        store.register("a.xml", "<other/>")
+        with pytest.raises(TransactionError):
+            snapshot.commit_into_store(["a.xml"])
+
+    def test_touched_uris(self):
+        store = DocumentStore()
+        store.register("a.xml", "<a/>")
+        store.register("b.xml", "<b/>")
+        snapshot = store.snapshot()
+        snapshot.get("a.xml")
+        assert snapshot.touched_uris() == ["a.xml"]

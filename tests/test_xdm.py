@@ -1,0 +1,204 @@
+"""Unit tests for the XDM layer: atomic values, nodes, sequences."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import DynamicError, TypeError_
+from repro.xdm import (
+    AtomicValue,
+    NodeFactory,
+    atomize,
+    boolean,
+    copy_tree,
+    deep_equal,
+    double,
+    effective_boolean_value,
+    integer,
+    string,
+    untyped,
+    xs,
+)
+from repro.xdm.atomic import cast, general_compare_pair, value_compare
+from repro.xdm.sequence import document_order_sort
+from repro.xml import parse_document
+
+
+class TestAtomicValues:
+    def test_string_value_integer(self):
+        assert integer(42).string_value() == "42"
+
+    def test_string_value_boolean(self):
+        assert boolean(True).string_value() == "true"
+        assert boolean(False).string_value() == "false"
+
+    def test_string_value_double_integral(self):
+        assert double(3.0).string_value() == "3"
+
+    def test_string_value_double_fraction(self):
+        assert double(3.1).string_value() == "3.1"
+
+    def test_string_value_decimal_trailing_zeros(self):
+        assert AtomicValue(Decimal("2.50"), xs.decimal).string_value() == "2.5"
+
+    def test_numeric_equality_across_types(self):
+        assert integer(2) == double(2.0)
+
+    def test_inf_lexical(self):
+        import math
+        assert double(math.inf).string_value() == "INF"
+        assert double(-math.inf).string_value() == "-INF"
+
+
+class TestCasting:
+    def test_string_to_integer(self):
+        assert cast(string("17"), xs.integer).value == 17
+
+    def test_untyped_to_double(self):
+        assert cast(untyped("2.5"), xs.double).value == 2.5
+
+    def test_integer_to_string(self):
+        assert cast(integer(5), xs.string).value == "5"
+
+    def test_boolean_from_lexical(self):
+        assert cast(string("true"), xs.boolean).value is True
+        assert cast(string("0"), xs.boolean).value is False
+
+    def test_numeric_to_boolean(self):
+        assert cast(integer(0), xs.boolean).value is False
+        assert cast(double(0.1), xs.boolean).value is True
+
+    def test_invalid_lexical_raises_forg0001(self):
+        with pytest.raises(DynamicError) as info:
+            cast(string("abc"), xs.integer)
+        assert info.value.code == "FORG0001"
+
+    def test_identity_cast(self):
+        value = string("x")
+        assert cast(value, xs.string) is value
+
+    def test_upcast_within_hierarchy(self):
+        value = cast(integer(7), xs.decimal)
+        assert value.type is xs.decimal
+        assert value.value == 7
+
+
+class TestComparisons:
+    def test_value_compare_numeric(self):
+        assert value_compare(integer(1), "lt", double(1.5))
+        assert value_compare(integer(2), "ge", integer(2))
+
+    def test_value_compare_untyped_as_string(self):
+        # Value comparison casts untypedAtomic to string: "10" < "9".
+        assert value_compare(untyped("10"), "lt", untyped("9"))
+
+    def test_general_compare_untyped_vs_numeric(self):
+        # General comparison casts untyped to double: 10 > 9.
+        assert general_compare_pair(untyped("10"), "gt", integer(9))
+
+    def test_general_compare_untyped_pair_as_strings(self):
+        assert general_compare_pair(untyped("a"), "eq", untyped("a"))
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(TypeError_):
+            value_compare(integer(1), "eq", boolean(True))
+
+    def test_nan_compares_false(self):
+        assert not value_compare(double(float("nan")), "eq", double(1.0))
+        assert not value_compare(double(float("nan")), "lt", double(1.0))
+
+
+class TestEffectiveBooleanValue:
+    def test_empty_is_false(self):
+        assert effective_boolean_value([]) is False
+
+    def test_node_first_is_true(self):
+        doc = parse_document("<a/>")
+        assert effective_boolean_value([doc.root_element]) is True
+
+    def test_single_boolean(self):
+        assert effective_boolean_value([boolean(False)]) is False
+
+    def test_zero_is_false(self):
+        assert effective_boolean_value([integer(0)]) is False
+
+    def test_nonempty_string_is_true(self):
+        assert effective_boolean_value([string("x")]) is True
+
+    def test_multiple_atomics_raise(self):
+        with pytest.raises(DynamicError):
+            effective_boolean_value([integer(1), integer(2)])
+
+
+class TestNodes:
+    def test_axes(self):
+        doc = parse_document("<a><b/><c><d/></c><e/></a>")
+        a = doc.root_element
+        b, c, e = a.children
+        d = c.children[0]
+        assert list(d.ancestors()) == [c, a, doc]
+        assert list(c.following_siblings()) == [e]
+        assert list(c.preceding_siblings()) == [b]
+        assert list(b.following()) == [c, d, e]
+        assert list(e.preceding()) == [d, c, b]
+
+    def test_typed_value_is_untyped_atomic(self):
+        doc = parse_document("<a>42</a>")
+        [value] = doc.root_element.typed_value()
+        assert value.type is xs.untypedAtomic
+        assert value.value == "42"
+
+    def test_atomize_mixed_sequence(self):
+        doc = parse_document("<a>x</a>")
+        values = atomize([doc.root_element, integer(1)])
+        assert values[0].value == "x"
+        assert values[1].value == 1
+
+    def test_copy_tree_fresh_identity(self):
+        doc = parse_document("<a><b>t</b></a>")
+        b = doc.root_element.children[0]
+        copy = copy_tree(b)
+        assert copy is not b
+        assert copy.parent is None
+        assert copy.order_key[0] != b.order_key[0]
+        assert deep_equal([copy], [b])
+
+    def test_document_order_sort_dedups(self):
+        doc = parse_document("<a><b/><c/></a>")
+        b, c = doc.root_element.children
+        assert document_order_sort([c, b, c, b]) == [b, c]
+
+
+class TestDeepEqual:
+    def test_equal_trees(self):
+        x = parse_document("<a><b>1</b></a>")
+        y = parse_document("<a><b>1</b></a>")
+        assert deep_equal([x], [y])
+
+    def test_attribute_order_irrelevant(self):
+        x = parse_document('<a p="1" q="2"/>')
+        y = parse_document('<a q="2" p="1"/>')
+        assert deep_equal([x], [y])
+
+    def test_different_text_not_equal(self):
+        x = parse_document("<a>1</a>")
+        y = parse_document("<a>2</a>")
+        assert not deep_equal([x], [y])
+
+    def test_atomics(self):
+        assert deep_equal([integer(1), string("x")], [integer(1), string("x")])
+        assert not deep_equal([integer(1)], [integer(1), integer(2)])
+
+    def test_numeric_cross_type(self):
+        assert deep_equal([integer(3)], [double(3.0)])
+
+
+class TestFactory:
+    def test_manual_tree_construction(self):
+        factory = NodeFactory()
+        root = factory.element("films")
+        film = factory.element("film")
+        film.append(factory.text("The Rock"))
+        root.append(film)
+        assert root.string_value() == "The Rock"
+        assert film.parent is root

@@ -1,0 +1,265 @@
+"""XQuery evaluator tests: literals, operators, FLWOR, conditionals."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import DynamicError, StaticError, TypeError_
+from tests.helpers import run, values, strings, xml
+
+
+class TestLiterals:
+    def test_integer(self):
+        assert values(run("42")) == [42]
+
+    def test_decimal(self):
+        assert values(run("3.14")) == [Decimal("3.14")]
+
+    def test_double(self):
+        assert values(run("1.5e2")) == [150.0]
+
+    def test_string(self):
+        assert values(run("'hello'")) == ["hello"]
+
+    def test_string_doubled_quote_escape(self):
+        assert values(run('"say ""hi"""')) == ['say "hi"']
+
+    def test_empty_sequence(self):
+        assert run("()") == []
+
+    def test_comma_sequence(self):
+        assert values(run("1, 2, 'x'")) == [1, 2, "x"]
+
+    def test_nested_sequences_flatten(self):
+        assert values(run("(1, (2, 3), ())")) == [1, 2, 3]
+
+    def test_comment_ignored(self):
+        assert values(run("1 (: comment (: nested :) :) + 2")) == [3]
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("query,expected", [
+        ("1 + 2", 3),
+        ("5 - 3", 2),
+        ("4 * 3", 12),
+        ("7 idiv 2", 3),
+        ("7 mod 2", 1),
+        ("-5 + 2", -3),
+        ("2 + 3 * 4", 14),
+        ("(2 + 3) * 4", 20),
+    ])
+    def test_integer_ops(self, query, expected):
+        assert values(run(query)) == [expected]
+
+    def test_div_returns_decimal(self):
+        [result] = run("10 div 4")
+        assert result.value == Decimal("2.5")
+
+    def test_double_propagates(self):
+        assert values(run("1.0e0 + 1")) == [2.0]
+
+    def test_division_by_zero_integer(self):
+        with pytest.raises(DynamicError):
+            run("1 div 0")
+
+    def test_division_by_zero_double_is_inf(self):
+        [result] = run("1e0 div 0")
+        assert result.value == float("inf")
+
+    def test_empty_operand_yields_empty(self):
+        assert run("() + 1") == []
+
+    def test_untyped_promotes_to_double(self):
+        result = run("<a>3</a> + 1")
+        assert values(result) == [4.0]
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("query,expected", [
+        ("1 = 1", True),
+        ("1 != 1", False),
+        ("1 < 2", True),
+        ("2 <= 2", True),
+        ("'a' = 'a'", True),
+        ("1 eq 1", True),
+        ("2 gt 1", True),
+        ("'abc' lt 'abd'", True),
+    ])
+    def test_simple(self, query, expected):
+        assert values(run(query)) == [expected]
+
+    def test_general_comparison_existential(self):
+        assert values(run("(1, 2, 3) = 2")) == [True]
+        assert values(run("(1, 2, 3) = 9")) == [False]
+
+    def test_value_comparison_empty_is_empty(self):
+        assert run("() eq 1") == []
+
+    def test_node_is(self):
+        assert values(run("let $a := <x/> return $a is $a")) == [True]
+        assert values(run("<x/> is <x/>")) == [False]
+
+    def test_node_order(self):
+        query = "let $d := <a><b/><c/></a> return ($d/b << $d/c)"
+        assert values(run(query)) == [True]
+
+
+class TestLogic:
+    @pytest.mark.parametrize("query,expected", [
+        ("true() and true()", True),
+        ("true() and false()", False),
+        ("false() or true()", True),
+        ("not(false())", True),
+        ("1 and 'x'", True),
+        ("0 or ''", False),
+    ])
+    def test_boolean_ops(self, query, expected):
+        assert values(run(query)) == [expected]
+
+    def test_if_then_else(self):
+        assert values(run("if (1 < 2) then 'yes' else 'no'")) == ["yes"]
+        assert values(run("if (()) then 'yes' else 'no'")) == ["no"]
+
+
+class TestRange:
+    def test_simple_range(self):
+        assert values(run("1 to 4")) == [1, 2, 3, 4]
+
+    def test_degenerate_range(self):
+        assert values(run("3 to 3")) == [3]
+
+    def test_backwards_range_empty(self):
+        assert run("3 to 1") == []
+
+    def test_range_with_variable(self):
+        assert values(run("for $i in (1 to $x) return $i",
+                          variables={"x": run("3")})) == [1, 2, 3]
+
+
+class TestFLWOR:
+    def test_for_return(self):
+        assert values(run("for $x in (1, 2, 3) return $x * 2")) == [2, 4, 6]
+
+    def test_let(self):
+        assert values(run("let $x := 5 return $x + 1")) == [6]
+
+    def test_nested_for(self):
+        query = "for $x in (10, 20) return for $y in (1, 2) return $x + $y"
+        assert values(run(query)) == [11, 12, 21, 22]
+
+    def test_for_with_position(self):
+        query = "for $x at $i in ('a', 'b', 'c') return $i"
+        assert values(run(query)) == [1, 2, 3]
+
+    def test_where(self):
+        query = "for $x in (1 to 10) where $x mod 2 = 0 return $x"
+        assert values(run(query)) == [2, 4, 6, 8, 10]
+
+    def test_order_by(self):
+        query = "for $x in (3, 1, 2) order by $x return $x"
+        assert values(run(query)) == [1, 2, 3]
+
+    def test_order_by_descending(self):
+        query = "for $x in (3, 1, 2) order by $x descending return $x"
+        assert values(run(query)) == [3, 2, 1]
+
+    def test_order_by_string_key(self):
+        query = "for $x in ('banana', 'apple') order by $x return $x"
+        assert values(run(query)) == ["apple", "banana"]
+
+    def test_multiple_for_clauses_cartesian(self):
+        query = "for $x in (1, 2), $y in (10, 20) return $x + $y"
+        assert values(run(query)) == [11, 21, 12, 22]
+
+    def test_let_sequence_binding(self):
+        query = "let $s := (1, 2, 3) return count($s)"
+        assert values(run(query)) == [3]
+
+    def test_paper_q5_loop_lifting_example(self):
+        # Section 3.1: $z is ($x, $y) in all four iterations.
+        query = ("for $x in (10, 20) return for $y in (100, 200) "
+                 "let $z := ($x, $y) return count($z)")
+        assert values(run(query)) == [2, 2, 2, 2]
+
+
+class TestQuantified:
+    def test_some(self):
+        assert values(run("some $x in (1, 2, 3) satisfies $x > 2")) == [True]
+        assert values(run("some $x in (1, 2, 3) satisfies $x > 5")) == [False]
+
+    def test_every(self):
+        assert values(run("every $x in (1, 2, 3) satisfies $x > 0")) == [True]
+        assert values(run("every $x in (1, 2, 3) satisfies $x > 1")) == [False]
+
+    def test_multiple_bindings(self):
+        query = "some $x in (1, 2), $y in (2, 3) satisfies $x = $y"
+        assert values(run(query)) == [True]
+
+
+class TestTypeOperators:
+    def test_cast(self):
+        assert values(run("'42' cast as xs:integer")) == [42]
+
+    def test_castable(self):
+        assert values(run("'42' castable as xs:integer")) == [True]
+        assert values(run("'x' castable as xs:integer")) == [False]
+
+    def test_instance_of(self):
+        assert values(run("1 instance of xs:integer")) == [True]
+        assert values(run("1 instance of xs:string")) == [False]
+        assert values(run("(1, 2) instance of xs:integer*")) == [True]
+        assert values(run("() instance of empty-sequence()")) == [True]
+        assert values(run("<a/> instance of element()")) == [True]
+
+    def test_treat_as(self):
+        assert values(run("1 treat as xs:integer")) == [1]
+        with pytest.raises(DynamicError):
+            run("'x' treat as xs:integer")
+
+    def test_constructor_function(self):
+        assert values(run("xs:integer('17')")) == [17]
+        assert values(run("xs:string(3.0e0)")) == ["3"]
+
+    def test_typeswitch(self):
+        query = """
+        typeswitch (<a/>)
+          case element() return 'element'
+          case xs:integer return 'int'
+          default return 'other'
+        """
+        assert values(run(query)) == ["element"]
+
+    def test_typeswitch_with_variable(self):
+        query = """
+        typeswitch (42)
+          case $i as xs:integer return $i + 1
+          default return 0
+        """
+        assert values(run(query)) == [43]
+
+    def test_typeswitch_default(self):
+        query = """
+        typeswitch ('s')
+          case xs:integer return 'int'
+          default $v return concat('got ', $v)
+        """
+        assert values(run(query)) == ["got s"]
+
+
+class TestErrors:
+    def test_unknown_function(self):
+        with pytest.raises(StaticError) as info:
+            run("no-such-function(1)")
+        assert info.value.code == "XPST0017"
+
+    def test_unbound_variable(self):
+        with pytest.raises(DynamicError):
+            run("$nope")
+
+    def test_syntax_error(self):
+        with pytest.raises(StaticError):
+            run("1 +")
+
+    def test_fn_error(self):
+        with pytest.raises(DynamicError):
+            run("error('X', 'boom')")

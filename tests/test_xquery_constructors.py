@@ -1,0 +1,155 @@
+"""XQuery node constructor tests (direct + computed)."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.xdm.nodes import AttributeNode, ElementNode
+from tests.helpers import run, single_node, strings, values, xml
+
+
+class TestDirectElements:
+    def test_empty_element(self):
+        assert xml(run("<a/>")) == "<a/>"
+
+    def test_literal_content(self):
+        assert xml(run("<a>text</a>")) == "<a>text</a>"
+
+    def test_nested_elements(self):
+        assert xml(run("<a><b>x</b><c/></a>")) == "<a><b>x</b><c/></a>"
+
+    def test_enclosed_expression(self):
+        assert xml(run("<a>{1 + 2}</a>")) == "<a>3</a>"
+
+    def test_adjacent_atomics_space_separated(self):
+        assert xml(run("<a>{1, 2, 3}</a>")) == "<a>1 2 3</a>"
+
+    def test_mixed_literal_and_enclosed(self):
+        assert xml(run("<a>x{1}y</a>")) == "<a>x1y</a>"
+
+    def test_boundary_whitespace_stripped(self):
+        result = xml(run("<a>\n  <b/>\n</a>"))
+        assert result == "<a><b/></a>"
+
+    def test_significant_text_preserved(self):
+        assert xml(run("<a> x </a>")) == "<a> x </a>"
+
+    def test_curly_escapes(self):
+        assert xml(run("<a>{{literal}}</a>")) == "<a>{literal}</a>"
+
+    def test_attributes_literal(self):
+        assert xml(run('<a x="1" y="z"/>')) == '<a x="1" y="z"/>'
+
+    def test_attribute_enclosed_expr(self):
+        assert xml(run('<a x="{1 + 1}"/>')) == '<a x="2"/>'
+
+    def test_attribute_mixed_value(self):
+        assert xml(run('<a x="v{1}w"/>')) == '<a x="v1w"/>'
+
+    def test_node_copy_into_constructor(self):
+        query = "let $b := <b>1</b> return <a>{$b}</a>"
+        assert xml(run(query)) == "<a><b>1</b></a>"
+
+    def test_copied_node_gets_new_identity(self):
+        query = "let $b := <b/> let $a := <a>{$b}</a> return $a/b is $b"
+        assert values(run(query)) == [False]
+
+    def test_constructed_node_navigable(self):
+        query = "<a><b>7</b></a>/b"
+        assert strings(run(query)) == ["7"]
+
+    def test_paper_q1_films_wrapper(self):
+        query = "<films>{(<name>The Rock</name>, <name>Goldfinger</name>)}</films>"
+        assert xml(run(query)) == \
+            "<films><name>The Rock</name><name>Goldfinger</name></films>"
+
+    def test_sequence_in_content(self):
+        query = "<r>{for $i in (1, 2) return <v>{$i}</v>}</r>"
+        assert xml(run(query)) == "<r><v>1</v><v>2</v></r>"
+
+    def test_entity_in_content(self):
+        assert xml(run("<a>&amp;</a>")) == "<a>&amp;</a>"
+
+    def test_comment_in_constructor(self):
+        result = single_node(run("<a><!--note--></a>"))
+        assert result.children[0].kind == "comment"
+
+    def test_namespace_declaration_attribute(self):
+        node = single_node(run('<p:a xmlns:p="urn:p"/>'))
+        assert isinstance(node, ElementNode)
+        assert node.ns_uri == "urn:p"
+
+    def test_atomized_node_content(self):
+        query = "let $b := <b>5</b> return <a>{data($b)}</a>"
+        assert xml(run(query)) == "<a>5</a>"
+
+    def test_document_node_spliced(self):
+        query = "<w>{doc('d.xml')}</w>"
+        assert xml(run(query, docs={"d.xml": "<r>1</r>"})) == "<w><r>1</r></w>"
+
+
+class TestComputedConstructors:
+    def test_computed_element(self):
+        assert xml(run("element foo { 'x' }")) == "<foo>x</foo>"
+
+    def test_computed_element_dynamic_name(self):
+        assert xml(run("element { concat('a', 'b') } { 1 }")) == "<ab>1</ab>"
+
+    def test_computed_attribute(self):
+        node = run("attribute year { 1996 }")[0]
+        assert isinstance(node, AttributeNode)
+        assert node.name == "year"
+        assert node.value == "1996"
+
+    def test_computed_attribute_in_element(self):
+        query = "<film>{attribute year { 1964 }}</film>"
+        assert xml(run(query)) == '<film year="1964"/>'
+
+    def test_attribute_after_content_rejected(self):
+        with pytest.raises(TypeError_):
+            run("<a>{'text', attribute x { 1 }}</a>")
+
+    def test_computed_text(self):
+        node = run("text { 'hello' }")[0]
+        assert node.kind == "text"
+        assert node.string_value() == "hello"
+
+    def test_computed_comment(self):
+        node = run("comment { 'c' }")[0]
+        assert node.kind == "comment"
+
+    def test_computed_pi(self):
+        node = run("processing-instruction target { 'data' }")[0]
+        assert node.kind == "processing-instruction"
+        assert node.target == "target"
+
+    def test_computed_document(self):
+        node = run("document { <r/> }")[0]
+        assert node.kind == "document"
+        assert node.root_element.name == "r"
+
+
+class TestConstructorsWithNamespaces:
+    def test_static_prefix_resolution(self):
+        query = "declare namespace p = 'urn:p'; <p:x/>"
+        node = single_node(run(query))
+        assert node.ns_uri == "urn:p"
+
+    def test_constructor_scope_nesting(self):
+        query = '<p:a xmlns:p="urn:p"><p:b/></p:a>'
+        node = single_node(run(query))
+        assert node.children[0].ns_uri == "urn:p"
+
+    def test_serialized_envelope_round_trip(self):
+        # The shape the SOAP layer constructs.
+        query = """
+        declare namespace env = "http://www.w3.org/2003/05/soap-envelope";
+        <env:Envelope xmlns:env="http://www.w3.org/2003/05/soap-envelope">
+          <env:Body><x/></env:Body>
+        </env:Envelope>
+        """
+        node = single_node(run(query))
+        assert node.local_name == "Envelope"
+        assert node.ns_uri == "http://www.w3.org/2003/05/soap-envelope"
+        body = node.children[0]
+        assert body.local_name == "Body"
+        assert body.ns_uri == "http://www.w3.org/2003/05/soap-envelope"

@@ -1,0 +1,188 @@
+"""XQuery path expression and axis tests."""
+
+import pytest
+
+from repro.errors import TypeError_
+from tests.helpers import run, strings, values, xml
+
+FILMS = """
+<films>
+  <film year="1996"><name>The Rock</name><actor>Sean Connery</actor></film>
+  <film year="1964"><name>Goldfinger</name><actor>Sean Connery</actor></film>
+  <film year="1990"><name>Green Card</name><actor>Gerard Depardieu</actor></film>
+</films>
+"""
+
+DOCS = {"filmDB.xml": FILMS}
+
+
+class TestChildAndDescendant:
+    def test_child_step(self):
+        result = run("doc('filmDB.xml')/films/film/name", docs=DOCS)
+        assert strings(result) == ["The Rock", "Goldfinger", "Green Card"]
+
+    def test_descendant_shortcut(self):
+        result = run("doc('filmDB.xml')//name", docs=DOCS)
+        assert len(result) == 3
+
+    def test_wildcard(self):
+        result = run("doc('filmDB.xml')/films/film[1]/*", docs=DOCS)
+        assert [n.name for n in result] == ["name", "actor"]
+
+    def test_document_order_maintained(self):
+        result = run("doc('filmDB.xml')//film/(actor | name)", docs=DOCS) \
+            if False else run("doc('filmDB.xml')//film/name | doc('filmDB.xml')//film/actor", docs=DOCS)
+        names = [n.name for n in result]
+        assert names == ["name", "actor"] * 3
+
+    def test_dedup_after_step(self):
+        # Both films' parent is the same <films> element: one result only.
+        result = run("doc('filmDB.xml')//film/..", docs=DOCS)
+        assert len(result) == 1
+        assert result[0].name == "films"
+
+
+class TestPredicates:
+    def test_positional(self):
+        result = run("doc('filmDB.xml')//film[2]/name", docs=DOCS)
+        assert strings(result) == ["Goldfinger"]
+
+    def test_last(self):
+        result = run("doc('filmDB.xml')//film[last()]/name", docs=DOCS)
+        assert strings(result) == ["Green Card"]
+
+    def test_value_predicate(self):
+        query = "doc('filmDB.xml')//film[actor = 'Sean Connery']/name"
+        assert strings(run(query, docs=DOCS)) == ["The Rock", "Goldfinger"]
+
+    def test_paper_q1_shape(self):
+        # The film:filmsByActor body from the paper.
+        query = "doc('filmDB.xml')//name[../actor = 'Sean Connery']"
+        assert strings(run(query, docs=DOCS)) == ["The Rock", "Goldfinger"]
+
+    def test_attribute_predicate(self):
+        query = "doc('filmDB.xml')//film[@year = '1990']/name"
+        assert strings(run(query, docs=DOCS)) == ["Green Card"]
+
+    def test_chained_predicates(self):
+        query = "doc('filmDB.xml')//film[actor = 'Sean Connery'][2]/name"
+        assert strings(run(query, docs=DOCS)) == ["Goldfinger"]
+
+    def test_predicate_on_sequence(self):
+        assert values(run("(10, 20, 30)[2]")) == [20]
+
+    def test_boolean_predicate_on_sequence(self):
+        assert values(run("(1, 2, 3)[. > 1]")) == [2, 3]
+
+
+class TestAttributes:
+    def test_at_shortcut(self):
+        result = run("doc('filmDB.xml')//film[1]/@year", docs=DOCS)
+        assert strings(result) == ["1996"]
+
+    def test_attribute_axis_explicit(self):
+        result = run("doc('filmDB.xml')//film[1]/attribute::year", docs=DOCS)
+        assert strings(result) == ["1996"]
+
+    def test_attribute_comparison_numeric(self):
+        query = "doc('filmDB.xml')//film[@year > 1990]/name"
+        assert strings(run(query, docs=DOCS)) == ["The Rock"]
+
+
+class TestOtherAxes:
+    def test_parent(self):
+        result = run("doc('filmDB.xml')//name[1]/..", docs=DOCS)
+        assert result[0].name == "film"
+
+    def test_ancestor(self):
+        result = run("doc('filmDB.xml')//name[. = 'Goldfinger']/ancestor::films",
+                     docs=DOCS)
+        assert len(result) == 1
+
+    def test_self(self):
+        result = run("doc('filmDB.xml')//film[1]/self::film", docs=DOCS)
+        assert len(result) == 1
+
+    def test_following_sibling(self):
+        query = "doc('filmDB.xml')//film[1]/following-sibling::film/name"
+        assert strings(run(query, docs=DOCS)) == ["Goldfinger", "Green Card"]
+
+    def test_preceding_sibling(self):
+        query = "doc('filmDB.xml')//film[3]/preceding-sibling::film/name"
+        assert strings(run(query, docs=DOCS)) == ["The Rock", "Goldfinger"]
+
+    def test_descendant_or_self(self):
+        result = run("doc('filmDB.xml')/films/descendant-or-self::films", docs=DOCS)
+        assert len(result) == 1
+
+    def test_kind_test_text(self):
+        result = run("(doc('filmDB.xml')//name)[1]/text()", docs=DOCS)
+        assert strings(result) == ["The Rock"]
+
+    def test_positional_predicate_is_per_parent(self):
+        # //name[1] means "first name child of each parent": all three
+        # films contribute one — classic XPath semantics.
+        result = run("doc('filmDB.xml')//name[1]", docs=DOCS)
+        assert len(result) == 3
+
+    def test_following(self):
+        query = "count(doc('filmDB.xml')//film[2]/following::*)"
+        # film[3] subtree: film, name, actor = 3 elements.
+        assert values(run(query, docs=DOCS)) == [3]
+
+    def test_preceding(self):
+        query = "count(doc('filmDB.xml')//film[2]/preceding::*)"
+        assert values(run(query, docs=DOCS)) == [3]
+
+
+class TestPathOnVariables:
+    def test_variable_start(self):
+        query = "let $d := doc('filmDB.xml') return ($d//actor)[1]"
+        assert strings(run(query, docs=DOCS)) == ["Sean Connery"]
+
+    def test_constructed_tree_navigation(self):
+        query = "let $e := <a><b>1</b><b>2</b></a> return $e/b[2]"
+        assert strings(run(query)) == ["2"]
+
+    def test_path_over_for_variable(self):
+        query = ("for $f in doc('filmDB.xml')//film "
+                 "where $f/@year < 1990 return $f/name")
+        assert strings(run(query, docs=DOCS)) == ["Goldfinger"]
+
+    def test_step_on_atomic_raises(self):
+        with pytest.raises(TypeError_):
+            run("(1)/a")
+
+
+class TestSetOps:
+    def test_union_dedups_and_orders(self):
+        query = ("let $d := doc('filmDB.xml') "
+                 "return count($d//film | $d//film[1])")
+        assert values(run(query, docs=DOCS)) == [3]
+
+    def test_intersect(self):
+        query = ("let $d := doc('filmDB.xml') "
+                 "return count($d//film intersect $d//film[2])")
+        assert values(run(query, docs=DOCS)) == [1]
+
+    def test_except(self):
+        query = ("let $d := doc('filmDB.xml') "
+                 "return ($d//film except $d//film[2])/name/text()")
+        assert strings(run(query, docs=DOCS)) == ["The Rock", "Green Card"]
+
+
+class TestNamespaceTests:
+    NS_DOC = {"ns.xml": '<root xmlns:p="urn:p"><p:a>1</p:a><a>2</a></root>'}
+
+    def test_prefixed_name_test(self):
+        query = ("declare namespace q = 'urn:p'; "
+                 "doc('ns.xml')/root/q:a")
+        assert strings(run(query, docs=self.NS_DOC)) == ["1"]
+
+    def test_unprefixed_matches_no_namespace(self):
+        result = run("doc('ns.xml')/root/a", docs=self.NS_DOC)
+        assert strings(result) == ["2"]
+
+    def test_wildcard_prefix(self):
+        result = run("doc('ns.xml')/root/*:a", docs=self.NS_DOC)
+        assert len(result) == 2
