@@ -30,3 +30,20 @@ def test_throughput_asymmetry(benchmark, report):
     request = next(r for r in rows if r.direction == "request")
     response = next(r for r in rows if r.direction == "response")
     assert response.mb_per_second > request.mb_per_second
+
+
+def test_throughput_wall_clock(benchmark, report):
+    """Real (unsimulated) MB/s of the message path on this machine.
+
+    This is the number the streaming serialization work moves: it
+    measures actual build/parse/marshal CPU cost, not the calibrated
+    cost model.  Tracked in CI logs to keep perf regressions visible.
+    """
+    experiment = ThroughputExperiment(rows_per_payload=4000, simulated=False)
+    rows = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report("Wall-clock message-path throughput (streaming pipeline):")
+    report(ThroughputExperiment.render(rows))
+    for row in rows:
+        benchmark.extra_info[f"{row.direction}_mb_per_second"] = \
+            round(row.mb_per_second, 2)
+    assert all(row.mb_per_second > 0 for row in rows)

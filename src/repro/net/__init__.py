@@ -11,10 +11,13 @@ channel:
   :class:`~repro.net.http.HttpXRPCServer` — a real loopback HTTP POST
   transport built on the standard library, proving the protocol actually
   runs over HTTP/SOAP like the paper's SHTTPD-based implementation.
+  Backed by :mod:`repro.net.pool`: persistent keep-alive connections per
+  peer and true concurrent per-destination ``send_parallel`` fan-out.
 """
 
 from repro.net.clock import VirtualClock, WallClock
 from repro.net.cost import NetworkCostModel, PeerCostModel
+from repro.net.pool import ConnectionPool, PeerStats, dispatch_parallel
 from repro.net.simulated import SimulatedNetwork
 from repro.net.transport import Transport, normalize_peer_uri
 from repro.net.http import HttpTransport, HttpXRPCServer
@@ -24,6 +27,9 @@ __all__ = [
     "WallClock",
     "NetworkCostModel",
     "PeerCostModel",
+    "ConnectionPool",
+    "PeerStats",
+    "dispatch_parallel",
     "SimulatedNetwork",
     "Transport",
     "normalize_peer_uri",

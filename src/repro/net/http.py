@@ -9,12 +9,11 @@ protocol really is plain SOAP-over-HTTP.
 from __future__ import annotations
 
 import threading
-import urllib.error
-import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 
 from repro.errors import TransportError
+from repro.net.pool import ConnectionPool, PeerStats, dispatch_parallel
 from repro.net.transport import Transport, normalize_peer_uri
 
 Handler = Callable[[str], str]
@@ -84,34 +83,69 @@ class HttpXRPCServer:
         self.stop()
 
 
-class HttpTransport(Transport):
-    """Client side: maps peer keys to ``host:port`` HTTP endpoints."""
+def _looks_like_soap(body: str) -> bool:
+    """Heuristic: does an HTTP error body carry a SOAP envelope?"""
+    head = body.lstrip()
+    return head.startswith("<") and "Envelope" in head[:1024]
 
-    def __init__(self, endpoints: Optional[dict[str, str]] = None) -> None:
+
+class HttpTransport(Transport):
+    """Client side: maps peer keys to ``host:port`` HTTP endpoints.
+
+    Connections are pooled per peer and kept alive across requests;
+    ``send_parallel`` fans out over destination peers with one worker
+    thread each, so a bulk dispatch to N peers costs ~max (not sum) of
+    the per-peer latencies.  Call :meth:`close` (or use the transport as
+    a context manager) to release pooled connections.
+    """
+
+    REQUEST_HEADERS = {
+        "Content-Type": "application/soap+xml; charset=utf-8",
+    }
+
+    def __init__(self, endpoints: Optional[dict[str, str]] = None,
+                 timeout: float = 30.0) -> None:
         # Logical peer URI/host -> "127.0.0.1:<port>".
         self._endpoints = {
             normalize_peer_uri(key): value
             for key, value in (endpoints or {}).items()
         }
+        self._pool = ConnectionPool(timeout=timeout)
 
     def register_endpoint(self, peer_uri: str, address: str) -> None:
         self._endpoints[normalize_peer_uri(peer_uri)] = address
 
-    def send(self, destination: str, payload: str) -> str:
+    def _resolve(self, destination: str) -> str:
         key = normalize_peer_uri(destination)
-        address = self._endpoints.get(key, key)
-        url = f"http://{address}/xrpc"
-        request = urllib.request.Request(
-            url,
-            data=payload.encode("utf-8"),
-            headers={"Content-Type": "application/soap+xml; charset=utf-8"},
-            method="POST",
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=30) as reply:
-                return reply.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            # SOAP faults ride on HTTP 500; surface the fault body.
-            return exc.read().decode("utf-8")
-        except OSError as exc:
-            raise TransportError(f"cannot reach {url}: {exc}") from exc
+        return self._endpoints.get(key, key)
+
+    def peer_stats(self, peer_uri: str) -> PeerStats:
+        """Connection/traffic counters for one peer (observability)."""
+        return self._pool.stats(self._resolve(peer_uri))
+
+    def send(self, destination: str, payload: str) -> str:
+        address = self._resolve(destination)
+        # Updating requests must not be replayed on a stale-connection
+        # retry once they may have reached the server (the update could
+        # apply twice); read-only exchanges are idempotent.
+        retry_safe = 'updCall="true"' not in payload
+        status, body = self._pool.request(
+            address, "/xrpc", payload.encode("utf-8"),
+            headers=self.REQUEST_HEADERS, retry_safe=retry_safe)
+        text = body.decode("utf-8", errors="replace")
+        if status >= 400 and not _looks_like_soap(text):
+            # A misconfigured endpoint (HTML 404 page, proxy error, ...)
+            # is a transport failure, not a SOAP fault to be parsed.
+            summary = " ".join(text.split())[:120] or "<empty body>"
+            raise TransportError(
+                f"HTTP {status} from http://{address}/xrpc with non-SOAP "
+                f"body: {summary}")
+        # SOAP faults ride on HTTP 500; surface the fault envelope.
+        return text
+
+    def send_parallel(self, requests: list[tuple[str, str]]) -> list[str]:
+        """Concurrent per-destination fan-out over pooled connections."""
+        return dispatch_parallel(self.send, requests)
+
+    def close(self) -> None:
+        self._pool.close()

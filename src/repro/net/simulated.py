@@ -15,6 +15,7 @@ from typing import Callable
 from repro.errors import TransportError
 from repro.net.clock import VirtualClock
 from repro.net.cost import NetworkCostModel
+from repro.net.pool import group_by_destination
 from repro.net.transport import Transport, normalize_peer_uri
 
 Handler = Callable[[str], str]
@@ -56,17 +57,27 @@ class SimulatedNetwork(Transport):
         return response
 
     def send_parallel(self, requests: list[tuple[str, str]]) -> list[str]:
-        """Parallel dispatch: total time = max of the branch times."""
+        """Parallel dispatch: total time = max of the branch times.
+
+        Mirrors :func:`repro.net.pool.dispatch_parallel`'s shape in
+        virtual time: one branch per distinct destination peer, requests
+        to the same destination sequential within their branch (they
+        share one connection in the real transport), branches overlapped
+        so the clock advances by the slowest branch only.
+        """
         if not requests:
             return []
+        branches = group_by_destination(requests)
         start = self.clock.now()
-        responses: list[str] = []
+        responses: list = [None] * len(requests)
         end_times: list[float] = []
-        for destination, payload in requests:
+        for indexes in branches.values():
             # Rewind to the common start for each branch, then record
             # how far this branch pushed the clock.
             self._rewind(start)
-            responses.append(self.send(destination, payload))
+            for index in indexes:
+                destination, payload = requests[index]
+                responses[index] = self.send(destination, payload)
             end_times.append(self.clock.now())
         self._rewind(start)
         self.clock.advance(max(end_times) - start)

@@ -32,8 +32,22 @@ class Transport(ABC):
 
         The paper's implementation dispatches Bulk RPC requests to
         multiple destination peers concurrently (section 3.2).  The
-        default implementation is sequential; the simulated network
-        overrides it to charge only the slowest branch's time.
+        default implementation is sequential; :class:`~repro.net.http.
+        HttpTransport` overrides it with true per-destination thread
+        fan-out and the simulated network charges only the slowest
+        branch's virtual time.
         """
         return [self.send(destination, payload)
                 for destination, payload in requests]
+
+    def close(self) -> None:
+        """Release transport resources (pooled connections, threads).
+
+        Safe to call more than once; the default transport holds none.
+        """
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

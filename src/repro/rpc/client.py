@@ -76,13 +76,15 @@ class ClientSession:
         raw = self.transport.send(destination, payload)
         response = parse_response(raw)
         self._record_participants(destination, response.participating_peers)
-        if not updating and len(response.results) != len(calls):
+        if len(response.results) != len(calls):
+            if updating and not response.results:
+                # An updating response may legitimately omit the (all
+                # empty) result sequences altogether.
+                return [[] for _ in calls]
             raise XRPCFault(
                 "env:Receiver",
                 f"bulk response carries {len(response.results)} results "
                 f"for {len(calls)} calls")
-        if updating and not response.results:
-            return [[] for _ in calls]
         return response.results
 
     def call_parallel(self, grouped: list[tuple[str, str, Optional[str], str,
@@ -113,9 +115,21 @@ class ClientSession:
             self.calls_shipped += len(calls)
         raw_responses = self.transport.send_parallel(payloads)
         results: list[Optional[list[list]]] = []
-        for (destination, *_rest), raw in zip(grouped, raw_responses):
+        for (destination, _module, _location, _function, _arity, calls,
+             updating), raw in zip(grouped, raw_responses):
             try:
                 response = parse_response(raw)
+                per_call = response.results
+                if len(per_call) != len(calls):
+                    if updating and not per_call:
+                        # Updating responses may omit the (all empty)
+                        # result sequences.
+                        per_call = [[] for _ in calls]
+                    else:
+                        raise XRPCFault(
+                            "env:Receiver",
+                            f"bulk response carries {len(per_call)} "
+                            f"results for {len(calls)} calls")
             except XRPCFault:
                 if tolerate_faults:
                     results.append(None)
@@ -123,7 +137,7 @@ class ClientSession:
                 raise
             self._record_participants(destination,
                                       response.participating_peers)
-            results.append(response.results)
+            results.append(per_call)
         return results
 
     # -- 2PC driver side ---------------------------------------------------------

@@ -18,6 +18,7 @@ Originating side highlights:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -30,8 +31,8 @@ from repro.rpc.client import ClientSession
 from repro.rpc.isolation import IsolationManager
 from repro.rpc.server import XRPCServer
 from repro.rpc.store import DocumentStore
+from repro.soap.marshal import marshal_fingerprint
 from repro.soap.messages import QueryID
-from repro.xdm.sequence import deep_equal
 from repro.xquery import xast as A
 from repro.xquery.context import DynamicContext, RemoteCall
 from repro.xquery.evaluator import CompiledQuery, Evaluator
@@ -244,7 +245,7 @@ class XRPCPeer:
         if not phase1_ok or not recorder.calls:
             return self._execute_direct(compiled, session, variables)
 
-        groups = recorder.grouped()
+        groups = recorder.groups
 
         # Safety for updating groups: an updating call recorded AFTER any
         # read-only call may have arguments derived from that call's
@@ -254,25 +255,24 @@ class XRPCPeer:
             (index for index, call in enumerate(recorder.calls)
              if not call.updating), default=None)
         shippable = {}
-        for key, (location, entries) in groups.items():
+        for key, group in groups.items():
             if key[4] and first_read_only is not None \
-                    and groups_first_index(recorder.calls, key) > first_read_only:
+                    and group.first_index > first_read_only:
                 continue  # possibly dependent updating group
-            shippable[key] = (location, entries)
+            shippable[key] = group
 
         requests = [
-            (key[0], key[1], location, key[2], key[3],
-             [args for args, _ in entries], key[4])
-            for key, (location, entries) in shippable.items()
+            (key[0], key[1], group.location, key[2], key[3],
+             [args for args, _ in group.entries], key[4])
+            for key, group in shippable.items()
         ]
         responses = session.call_parallel(requests, tolerate_faults=True)
 
         replayer = _Replayer(session)
-        for (key, (location, entries)), results in zip(shippable.items(),
-                                                       responses):
+        for (key, group), results in zip(shippable.items(), responses):
             if results is None:
                 continue  # faulted speculative group: re-send directly
-            replayer.load(key, location, entries, results)
+            replayer.load(key, group, results)
 
         return compiled.execute(
             doc_resolver=self.make_doc_resolver(self.store, session),
@@ -316,69 +316,77 @@ class XRPCPeer:
 _GroupKey = tuple  # (dest, module_uri, function, arity, updating)
 
 
-def groups_first_index(calls: list[RemoteCall], key: _GroupKey) -> int:
-    """Recording index of a group's first call (dependency ordering)."""
-    for index, call in enumerate(calls):
-        call_key = (normalize_peer_uri(call.destination), call.module_uri,
-                    call.function, call.arity, call.updating)
-        if call_key == key:
-            return index
-    return len(calls)
+def _group_key(call: RemoteCall) -> _GroupKey:
+    return (normalize_peer_uri(call.destination), call.module_uri,
+            call.function, call.arity, call.updating)
+
+
+@dataclass
+class _CallGroup:
+    """All phase-1 calls to one (destination, function) pair."""
+
+    location: Optional[str]
+    first_index: int            # recording index of the group's first call
+    entries: list = field(default_factory=list)  # (args, fingerprint)
 
 
 class _CallRecorder:
-    """Phase-1 handler: records calls, answers with empty sequences."""
+    """Phase-1 handler: records calls, answers with empty sequences.
+
+    Grouping and dependency-ordering bookkeeping happen here, at record
+    time: each group carries its first recording index, and each call's
+    arguments are fingerprinted once (their canonical marshaled form) so
+    the phase-3 replayer can match calls by O(1) lookup instead of
+    deep-equality scans.
+    """
 
     def __init__(self) -> None:
         self.calls: list[RemoteCall] = []
+        self.groups: dict[_GroupKey, _CallGroup] = {}
 
     def record(self, call: RemoteCall) -> list:
+        key = _group_key(call)
+        group = self.groups.get(key)
+        if group is None:
+            group = self.groups[key] = _CallGroup(
+                location=call.location, first_index=len(self.calls))
+        group.entries.append((call.args, marshal_fingerprint(call.args)))
         self.calls.append(call)
         return []
 
-    def grouped(self) -> dict:
-        groups: dict = {}
-        for call in self.calls:
-            key = (normalize_peer_uri(call.destination), call.module_uri,
-                   call.function, call.arity, call.updating)
-            location, entries = groups.setdefault(key, (call.location, []))
-            entries.append((call.args, None))
-        return groups
-
 
 class _Replayer:
-    """Phase-3 handler: answers calls from bulk results in order."""
+    """Phase-3 handler: answers calls from bulk results.
+
+    Results are indexed by (group key, argument fingerprint); duplicate
+    argument lists queue under one fingerprint and are served in
+    recorded order.  Each replayed call costs one fingerprint render and
+    a dict lookup — the former implementation deep-compared arguments
+    against a shifting list queue, going quadratic on large bulks.
+    """
 
     def __init__(self, session: ClientSession) -> None:
         self.session = session
-        self._queues: dict = {}
-        self._locations: dict = {}
+        self._results: dict[_GroupKey, dict[str, deque]] = {}
 
-    def load(self, key: _GroupKey, location, entries, results: list) -> None:
-        queue = self._queues.setdefault(key, [])
-        self._locations[key] = location
-        for (args, _), result in zip(entries, results):
-            queue.append((args, result))
+    def load(self, key: _GroupKey, group: _CallGroup, results: list) -> None:
+        by_fingerprint = self._results.setdefault(key, {})
+        for (_, fingerprint), result in zip(group.entries, results):
+            by_fingerprint.setdefault(fingerprint, deque()).append(result)
 
     def handle(self, call: RemoteCall) -> list:
-        key = (normalize_peer_uri(call.destination), call.module_uri,
-               call.function, call.arity, call.updating)
-        queue = self._queues.get(key)
-        if queue and _args_equal(queue[0][0], call.args):
-            _, result = queue.pop(0)
-            return result
-        # Dependent call: its arguments differ from what phase 1 saw
-        # (they depended on another call's result). Ship it directly.
+        by_fingerprint = self._results.get(_group_key(call))
+        if by_fingerprint:
+            queue = by_fingerprint.get(marshal_fingerprint(call.args))
+            if queue:
+                return queue.popleft()
+        # Dependent call: its arguments match nothing phase 1 recorded
+        # for this group (they depended on another call's placeholder
+        # result). Ship it directly — the authoritative attempt.
         [result] = self.session.call(
             call.destination, call.module_uri, call.location, call.function,
             call.arity, [call.args], updating=call.updating)
         return result
-
-
-def _args_equal(left: list[list], right: list[list]) -> bool:
-    if len(left) != len(right):
-        return False
-    return all(deep_equal(a, b) for a, b in zip(left, right))
 
 
 def _touched_uris(pul: PendingUpdateList) -> list[str]:

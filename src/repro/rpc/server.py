@@ -18,6 +18,7 @@ response (``xrpc:participants``) for coordinator registration.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.errors import XQueryError, XRPCFault, XRPCReproError
@@ -38,12 +39,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class XRPCServer:
-    """Request handler bound to one peer."""
+    """Request handler bound to one peer.
+
+    ``handle`` may be invoked concurrently — the real HTTP daemon is
+    threaded and ``send_parallel`` fans out per destination.  The
+    bookkeeping counters are guarded by ``_stats_lock``; mutations of
+    the peer's database state (isolation snapshots, applying pending
+    updates, version bumps) are serialized under ``_state_lock``.
+    Read-only function evaluation itself runs unlocked.
+    """
 
     def __init__(self, peer: "XRPCPeer") -> None:
         self.peer = peer
         self.requests_handled = 0
         self.calls_handled = 0
+        self._stats_lock = threading.Lock()
+        self._state_lock = threading.Lock()
 
     # -- entry point -----------------------------------------------------------
 
@@ -81,7 +92,8 @@ class XRPCServer:
 
     def _handle_request(self, request: XRPCRequest) -> str:
         peer = self.peer
-        self.requests_handled += 1
+        with self._stats_lock:
+            self.requests_handled += 1
 
         module = peer.registry.by_namespace(request.module)
         if module is None:
@@ -102,7 +114,8 @@ class XRPCServer:
 
         # Database view per the isolation rule in force.
         if request.query_id is not None:
-            snapshot = peer.isolation.acquire(request.query_id)
+            with self._state_lock:
+                snapshot = peer.isolation.acquire(request.query_id)
             doc_view = snapshot
         else:
             doc_view = peer.store
@@ -116,7 +129,8 @@ class XRPCServer:
         results: list[list] = []
         collected_pul = PendingUpdateList()
         for params in request.calls:
-            self.calls_handled += 1
+            with self._stats_lock:
+                self.calls_handled += 1
             if peer.cost_model is not None:
                 peer.clock.advance(peer.cost_model.per_call_seconds)
             value, pul = peer.run_function(
@@ -128,15 +142,18 @@ class XRPCServer:
                 results.append(value)
 
         if (request.updating or decl.updating) and collected_pul:
-            if request.query_id is not None:
-                # Rule R'_Fu: defer to 2PC commit.
-                peer.isolation.defer_updates(request.query_id, collected_pul)
-            else:
-                # Rule R_Fu: apply immediately, new current database state.
-                apply_updates(collected_pul)
-                for uri in _touched_uris(collected_pul):
-                    if peer.store.contains(uri):
-                        peer.store.bump_version(uri)
+            with self._state_lock:
+                if request.query_id is not None:
+                    # Rule R'_Fu: defer to 2PC commit.
+                    peer.isolation.defer_updates(request.query_id,
+                                                 collected_pul)
+                else:
+                    # Rule R_Fu: apply immediately, new current database
+                    # state.
+                    apply_updates(collected_pul)
+                    for uri in _touched_uris(collected_pul):
+                        if peer.store.contains(uri):
+                            peer.store.bump_version(uri)
 
         response = XRPCResponse(
             module=request.module, method=request.method, results=results)
@@ -148,12 +165,13 @@ class XRPCServer:
     def _handle_txn_command(self, command: TxnCommand) -> str:
         peer = self.peer
         try:
-            if command.kind == "prepare":
-                peer.isolation.prepare(command.query_id)
-            elif command.kind == "commit":
-                peer.isolation.commit(command.query_id)
-            else:
-                peer.isolation.rollback(command.query_id)
+            with self._state_lock:
+                if command.kind == "prepare":
+                    peer.isolation.prepare(command.query_id)
+                elif command.kind == "commit":
+                    peer.isolation.commit(command.query_id)
+                else:
+                    peer.isolation.rollback(command.query_id)
             return build_txn_result(TxnResult(kind=command.kind, ok=True))
         except XRPCReproError as exc:
             return build_txn_result(

@@ -12,7 +12,14 @@ Implements the document/literal SOAP sub-protocol XRPC uses over HTTP:
   node semantics.
 """
 
-from repro.soap.marshal import s2n, n2s, sequence_to_parts, parts_to_sequence
+from repro.soap.marshal import (
+    MarshalWriter,
+    marshal_fingerprint,
+    s2n,
+    n2s,
+    sequence_to_parts,
+    parts_to_sequence,
+)
 from repro.soap.validation import validate_message, ValidationReport
 from repro.soap.nodeid import s2n_call, n2s_call
 from repro.soap.messages import (
@@ -29,6 +36,8 @@ from repro.soap.messages import (
 )
 
 __all__ = [
+    "MarshalWriter",
+    "marshal_fingerprint",
     "s2n",
     "n2s",
     "sequence_to_parts",

@@ -2,6 +2,9 @@
 
 ``s2n`` (sequence-to-node) renders an XDM sequence into an
 ``<xrpc:sequence>`` element; ``n2s`` (node-to-sequence) is the inverse.
+:class:`MarshalWriter` is the streaming sibling of ``s2n``: it emits the
+equivalent XML text directly into a string buffer, so the message layer
+never materialises holder-node trees on the hot path.
 
 Two properties the paper calls out are enforced here:
 
@@ -10,7 +13,9 @@ Two properties the paper calls out are enforced here:
 * **Call-by-value** — node-typed parameters are returned by ``n2s`` as
   *standalone fragments with fresh node identity*, so upward/sideways
   XPath axes on them are empty at the remote side and a query can never
-  navigate into the SOAP envelope.
+  navigate into the SOAP envelope.  ``n2s`` realises this in a single
+  pass by *adopting* the already-fresh parsed fragments out of the
+  message tree instead of deep-copying them a second time.
 """
 
 from __future__ import annotations
@@ -29,11 +34,150 @@ from repro.xdm.nodes import (
     ProcessingInstructionNode,
     TextNode,
     copy_into,
-    copy_tree,
 )
 from repro.xdm.types import type_by_name, is_known_type, xs
+from repro.xml.serializer import escape_attribute, escape_text, serialize_into
 
 XRPC_PREFIX = "xrpc"
+
+
+class MarshalWriter:
+    """One-pass SOAP XML emitter.
+
+    Streams envelope markup and ``s2n``-equivalent value holders straight
+    into a string buffer; node-typed items are serialized directly from
+    their live XDM trees.  Compared with the old
+    ``NodeFactory``-tree-then-``serialize`` pipeline this removes one
+    full tree materialisation (and its deep copies) per message.
+
+    Start tags are closed lazily so childless elements collapse to
+    ``<name/>`` exactly like the tree serializer.
+    """
+
+    def __init__(self) -> None:
+        self._out: list[str] = []
+        self._stack: list[str] = []
+        self._open = False          # a start tag still awaits '>'
+        self._scope: dict[str, str] = {}  # prefixes declared so far
+
+    # -- low-level markup ---------------------------------------------------
+
+    def prolog(self) -> None:
+        self._out.append('<?xml version="1.0" encoding="utf-8"?>')
+
+    def _close_tag(self) -> None:
+        if self._open:
+            self._out.append(">")
+            self._open = False
+
+    def start(self, name: str,
+              attributes: tuple | list = (),
+              declarations: Optional[dict[str, str]] = None) -> None:
+        """Open ``<name ...>`` with xmlns declarations before attributes."""
+        self._close_tag()
+        out = self._out
+        out.append(f"<{name}")
+        if declarations:
+            self._scope.update(declarations)
+            for prefix, uri in sorted(declarations.items()):
+                xmlns = "xmlns" if prefix == "" else f"xmlns:{prefix}"
+                out.append(f' {xmlns}="{escape_attribute(uri)}"')
+        for attr_name, value in attributes:
+            out.append(f' {attr_name}="{escape_attribute(value)}"')
+        self._stack.append(name)
+        self._open = True
+
+    def end(self) -> None:
+        name = self._stack.pop()
+        if self._open:
+            self._out.append("/>")
+            self._open = False
+        else:
+            self._out.append(f"</{name}>")
+
+    def text(self, content: str) -> None:
+        if not content:
+            return
+        self._close_tag()
+        self._out.append(escape_text(content))
+
+    def element(self, name: str, attributes: tuple | list = (),
+                content: str = "") -> None:
+        """Convenience: a leaf element with optional text content."""
+        self.start(name, attributes)
+        self.text(content)
+        self.end()
+
+    def node(self, node: Node) -> None:
+        """Serialize an XDM tree in place, honouring declared prefixes."""
+        self._close_tag()
+        serialize_into(node, self._out, self._scope)
+
+    # -- the streaming s2n --------------------------------------------------
+
+    def sequence(self, items: list) -> None:
+        """Emit ``<xrpc:sequence>`` holders for an XDM sequence (s2n)."""
+        self.start(f"{XRPC_PREFIX}:sequence")
+        for item in items:
+            self.value(item)
+        self.end()
+
+    def value(self, item) -> None:
+        """Emit one value holder, mirroring ``_marshal_item``."""
+        if isinstance(item, AtomicValue):
+            self.element(f"{XRPC_PREFIX}:atomic-value",
+                         (("xsi:type", item.type.name),),
+                         item.string_value())
+            return
+        if isinstance(item, ElementNode):
+            self.start(f"{XRPC_PREFIX}:element")
+            self.node(item)
+            self.end()
+            return
+        if isinstance(item, DocumentNode):
+            self.start(f"{XRPC_PREFIX}:document")
+            for child in item.children:
+                self.node(child)
+            self.end()
+            return
+        if isinstance(item, AttributeNode):
+            attributes = []
+            if ":" in item.name and item.ns_uri:
+                prefix = item.name.split(":", 1)[0]
+                if prefix not in ("xml", "xmlns") \
+                        and self._scope.get(prefix) != item.ns_uri:
+                    attributes.append((f"xmlns:{prefix}", item.ns_uri))
+            attributes.append((item.name, item.value))
+            self.element(f"{XRPC_PREFIX}:attribute", attributes)
+            return
+        if isinstance(item, TextNode):
+            self.element(f"{XRPC_PREFIX}:text", (), item.content)
+            return
+        if isinstance(item, CommentNode):
+            self.element(f"{XRPC_PREFIX}:comment", (), item.content)
+            return
+        if isinstance(item, ProcessingInstructionNode):
+            self.element(f"{XRPC_PREFIX}:pi", (("target", item.target),),
+                         item.content)
+            return
+        raise XRPCFault("env:Sender", f"cannot marshal item {item!r}")
+
+    def getvalue(self) -> str:
+        self._close_tag()
+        return "".join(self._out)
+
+
+def marshal_fingerprint(params: list[list]) -> str:
+    """Canonical serialized form of one call's parameter list.
+
+    Two parameter lists with equal fingerprints marshal to identical
+    wire bytes, so a bulk result computed for one answers the other.
+    Used by the Bulk RPC replayer for O(1) index-keyed matching.
+    """
+    writer = MarshalWriter()
+    for param in params:
+        writer.sequence(param)
+    return writer.getvalue()
 
 
 def s2n(sequence: list, factory: Optional[NodeFactory] = None) -> ElementNode:
@@ -93,13 +237,23 @@ def _marshal_item(item, factory: NodeFactory) -> Node:
 def n2s(sequence_element: ElementNode) -> list:
     """Unmarshal an ``<xrpc:sequence>`` element back into an XDM sequence.
 
-    Node values are deep-copied out of the message tree so each result
-    item is a fresh standalone fragment (call-by-value).
+    Single-pass: node values are *adopted* out of the message tree —
+    detached from their holder with the parent link cleared — rather
+    than deep-copied a second time.  The parsed message tree is itself a
+    fresh copy of the sender's data, so adoption preserves the
+    call-by-value guarantee (empty upward/sideways axes) at zero cost.
     """
     result: list = []
     for holder in sequence_element.child_elements():
         result.append(_unmarshal_item(holder))
     return result
+
+
+def _adopt(holder: ElementNode, node: Node) -> Node:
+    """Detach *node* from its holder: a standalone fragment, no copy."""
+    holder.children.remove(node)
+    node.parent = None
+    return node
 
 
 def _unmarshal_item(holder: ElementNode):
@@ -118,12 +272,15 @@ def _unmarshal_item(holder: ElementNode):
             (c for c in holder.children if isinstance(c, ElementNode)), None)
         if element is None:
             raise XRPCFault("env:Sender", "xrpc:element holder without child element")
-        return copy_tree(element)
+        return _adopt(holder, element)
     if kind == "document":
-        factory = NodeFactory()
-        document = factory.document()
-        for child in holder.children:
-            document.append(copy_into(child, factory))
+        # Reuse the holder's order key for the document node: it precedes
+        # its adopted children's keys, keeping document order consistent.
+        document = DocumentNode(holder.order_key)
+        children = list(holder.children)
+        holder.children.clear()
+        for child in children:
+            document.append(child)
         return document
     if kind == "attribute":
         source = next(
@@ -132,15 +289,17 @@ def _unmarshal_item(holder: ElementNode):
             None)
         if source is None:
             raise XRPCFault("env:Sender", "xrpc:attribute holder without attribute")
-        return NodeFactory().attribute(source.name, source.value, source.ns_uri)
+        source.parent = None
+        return source
     if kind == "text":
-        return NodeFactory().text(holder.string_value())
+        return TextNode(holder.order_key, holder.string_value())
     if kind == "comment":
-        return NodeFactory().comment(holder.string_value())
+        return CommentNode(holder.order_key, holder.string_value())
     if kind == "pi":
         target_attr = holder.get_attribute("target")
         target = target_attr.value if target_attr else "pi"
-        return NodeFactory().processing_instruction(target, holder.string_value())
+        return ProcessingInstructionNode(
+            holder.order_key, target, holder.string_value())
     raise XRPCFault("env:Sender", f"unknown XRPC value element <{kind}>")
 
 

@@ -26,10 +26,9 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.errors import XRPCFault
-from repro.soap.marshal import n2s, s2n
-from repro.xdm.nodes import DocumentNode, ElementNode, NodeFactory
+from repro.soap.marshal import MarshalWriter, n2s
+from repro.xdm.nodes import ElementNode
 from repro.xml.parser import parse_document
-from repro.xml.serializer import serialize
 
 XRPC_NS = "http://monetdb.cwi.nl/XQuery"
 ENV_NS = "http://www.w3.org/2003/05/soap-envelope"
@@ -132,113 +131,104 @@ Message = Union[XRPCRequest, XRPCResponse, XRPCFaultMessage,
 # Building
 
 
-def _envelope(factory: NodeFactory) -> tuple[ElementNode, ElementNode]:
-    envelope = factory.element("env:Envelope", ENV_NS)
-    envelope.namespace_declarations = dict(_ENVELOPE_DECLARATIONS)
-    envelope.set_attribute(factory.attribute(
-        "xsi:schemaLocation",
-        f"{XRPC_NS} {XRPC_NS}/XRPC.xsd", XSI_NS))
-    body = factory.element("env:Body", ENV_NS)
-    envelope.append(body)
-    return envelope, body
+def _begin_envelope() -> MarshalWriter:
+    """Open ``<env:Envelope><env:Body>`` on a fresh streaming writer."""
+    writer = MarshalWriter()
+    writer.prolog()
+    writer.start(
+        "env:Envelope",
+        attributes=(("xsi:schemaLocation", f"{XRPC_NS} {XRPC_NS}/XRPC.xsd"),),
+        declarations=_ENVELOPE_DECLARATIONS)
+    writer.start("env:Body")
+    return writer
+
+
+def _finish_envelope(writer: MarshalWriter) -> str:
+    writer.end()  # env:Body
+    writer.end()  # env:Envelope
+    return writer.getvalue()
 
 
 def build_request(request: XRPCRequest) -> str:
-    """Serialize an :class:`XRPCRequest` to SOAP XML text."""
-    factory = NodeFactory()
-    envelope, body = _envelope(factory)
-    req = factory.element("xrpc:request", XRPC_NS)
-    req.set_attribute(factory.attribute("module", request.module))
-    req.set_attribute(factory.attribute("method", request.method))
-    req.set_attribute(factory.attribute("arity", str(request.arity)))
+    """Serialize an :class:`XRPCRequest` to SOAP XML text (one pass)."""
+    writer = _begin_envelope()
+    attributes = [
+        ("module", request.module),
+        ("method", request.method),
+        ("arity", str(request.arity)),
+    ]
     if request.location:
-        req.set_attribute(factory.attribute("location", request.location))
+        attributes.append(("location", request.location))
     if request.updating:
-        req.set_attribute(factory.attribute("updCall", "true"))
-    body.append(req)
+        attributes.append(("updCall", "true"))
+    writer.start("xrpc:request", attributes)
     if request.query_id is not None:
-        qid = factory.element("xrpc:queryID", XRPC_NS)
-        qid.set_attribute(factory.attribute("host", request.query_id.host))
-        qid.set_attribute(
-            factory.attribute("timestamp", repr(request.query_id.timestamp)))
-        qid.set_attribute(
-            factory.attribute("timeout", str(request.query_id.timeout)))
-        req.append(qid)
+        writer.element("xrpc:queryID", (
+            ("host", request.query_id.host),
+            ("timestamp", repr(request.query_id.timestamp)),
+            ("timeout", str(request.query_id.timeout)),
+        ))
     for params in request.calls:
-        call = factory.element("xrpc:call", XRPC_NS)
+        writer.start("xrpc:call")
         for param in params:
-            call.append(s2n(param, factory))
-        req.append(call)
-    return '<?xml version="1.0" encoding="utf-8"?>' + serialize(envelope)
+            writer.sequence(param)
+        writer.end()
+    writer.end()  # xrpc:request
+    return _finish_envelope(writer)
 
 
 def build_response(response: XRPCResponse) -> str:
-    """Serialize an :class:`XRPCResponse` to SOAP XML text."""
-    factory = NodeFactory()
-    envelope, body = _envelope(factory)
-    resp = factory.element("xrpc:response", XRPC_NS)
-    resp.set_attribute(factory.attribute("module", response.module))
-    resp.set_attribute(factory.attribute("method", response.method))
-    body.append(resp)
+    """Serialize an :class:`XRPCResponse` to SOAP XML text (one pass)."""
+    writer = _begin_envelope()
+    writer.start("xrpc:response", (
+        ("module", response.module),
+        ("method", response.method),
+    ))
     if response.participating_peers:
-        participants = factory.element("xrpc:participants", XRPC_NS)
+        writer.start("xrpc:participants")
         for peer in response.participating_peers:
-            entry = factory.element("xrpc:peer", XRPC_NS)
-            entry.set_attribute(factory.attribute("uri", peer))
-            participants.append(entry)
-        resp.append(participants)
+            writer.element("xrpc:peer", (("uri", peer),))
+        writer.end()
     for result in response.results:
-        resp.append(s2n(result, factory))
-    return '<?xml version="1.0" encoding="utf-8"?>' + serialize(envelope)
+        writer.sequence(result)
+    writer.end()  # xrpc:response
+    return _finish_envelope(writer)
 
 
 def build_fault(fault_code: str, reason: str) -> str:
     """Serialize a SOAP Fault (error message format of section 2.1)."""
-    factory = NodeFactory()
-    envelope, body = _envelope(factory)
-    fault = factory.element("env:Fault", ENV_NS)
-    code = factory.element("env:Code", ENV_NS)
-    value = factory.element("env:Value", ENV_NS)
-    value.append(factory.text(fault_code))
-    code.append(value)
-    reason_el = factory.element("env:Reason", ENV_NS)
-    text_el = factory.element("env:Text", ENV_NS)
-    text_el.set_attribute(factory.attribute(
-        "xml:lang", "en", "http://www.w3.org/XML/1998/namespace"))
-    text_el.append(factory.text(reason))
-    reason_el.append(text_el)
-    fault.append(code)
-    fault.append(reason_el)
-    body.append(fault)
-    return '<?xml version="1.0" encoding="utf-8"?>' + serialize(envelope)
+    writer = _begin_envelope()
+    writer.start("env:Fault")
+    writer.start("env:Code")
+    writer.element("env:Value", (), fault_code)
+    writer.end()
+    writer.start("env:Reason")
+    writer.element("env:Text", (("xml:lang", "en"),), reason)
+    writer.end()
+    writer.end()  # env:Fault
+    return _finish_envelope(writer)
 
 
 def build_txn_command(command: TxnCommand) -> str:
     """Serialize a Prepare/Commit/Rollback message."""
-    factory = NodeFactory()
-    envelope, body = _envelope(factory)
-    element = factory.element(f"xrpc:{command.kind}", XRPC_NS)
-    element.set_attribute(factory.attribute("host", command.query_id.host))
-    element.set_attribute(
-        factory.attribute("timestamp", repr(command.query_id.timestamp)))
-    element.set_attribute(
-        factory.attribute("timeout", str(command.query_id.timeout)))
-    body.append(element)
-    return '<?xml version="1.0" encoding="utf-8"?>' + serialize(envelope)
+    writer = _begin_envelope()
+    writer.element(f"xrpc:{command.kind}", (
+        ("host", command.query_id.host),
+        ("timestamp", repr(command.query_id.timestamp)),
+        ("timeout", str(command.query_id.timeout)),
+    ))
+    return _finish_envelope(writer)
 
 
 def build_txn_result(result: TxnResult) -> str:
     """Serialize a vote/acknowledgement for a transaction command."""
-    factory = NodeFactory()
-    envelope, body = _envelope(factory)
-    element = factory.element("xrpc:txn-result", XRPC_NS)
-    element.set_attribute(factory.attribute("kind", result.kind))
-    element.set_attribute(
-        factory.attribute("ok", "true" if result.ok else "false"))
+    writer = _begin_envelope()
+    attributes = [("kind", result.kind),
+                  ("ok", "true" if result.ok else "false")]
     if result.detail:
-        element.set_attribute(factory.attribute("detail", result.detail))
-    body.append(element)
-    return '<?xml version="1.0" encoding="utf-8"?>' + serialize(envelope)
+        attributes.append(("detail", result.detail))
+    writer.element("xrpc:txn-result", attributes)
+    return _finish_envelope(writer)
 
 
 # ---------------------------------------------------------------------------

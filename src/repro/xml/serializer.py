@@ -65,6 +65,17 @@ def serialize(node: Node, indent: bool = False,
     return "".join(pieces)
 
 
+def serialize_into(node: Node, out: list[str],
+                   scope: dict[str, str] | None = None) -> None:
+    """Serialize a node (tree) by appending pieces to an existing buffer.
+
+    ``scope`` holds the prefix->URI bindings already declared by the
+    surrounding markup, so fragments embedded in a larger document (the
+    streaming SOAP writer) don't redeclare prefixes the envelope binds.
+    """
+    _serialize_node(node, out, indent=False, level=0, scope=scope or {})
+
+
 def serialize_sequence(items: Iterable[object]) -> str:
     """Serialize a sequence the way XQuery result output does.
 

@@ -19,6 +19,8 @@ declare function c:step2($token as xs:string) as xs:string
 { concat($token, "-beta") };
 declare function c:whoami() as xs:string
 { string(doc("self.xml")/self) };
+declare function c:tag($v as xs:string) as xs:string
+{ concat("tag-", $v) };
 """
 
 
@@ -151,6 +153,42 @@ class TestGroupingBoundaries:
         assert values(result.sequence) == ["alpha"] * 4
         assert result.messages_sent == 1
         assert result.calls_shipped == 4
+
+    def test_duplicate_argument_lists_replay_in_order(self, site):
+        """Calls with identical arguments share a replayer fingerprint;
+        each phase-3 occurrence must consume exactly one bulk result."""
+        network, origin, served = site
+        query = """
+        import module namespace c = "urn:chain" at "c.xq";
+        for $v in ("a", "a", "b", "a")
+        return execute at {"xrpc://served"} { c:tag($v) }
+        """
+        result = origin.execute_query(query)
+        assert values(result.sequence) == \
+            ["tag-a", "tag-a", "tag-b", "tag-a"]
+        # All four calls (duplicates included) ride one bulk message.
+        assert result.messages_sent == 1
+        assert result.calls_shipped == 4
+
+    def test_duplicate_args_mixed_with_dependent_call(self, site):
+        """Duplicates answer from the bulk results while the dependent
+        call (placeholder-derived argument) falls back to direct send."""
+        network, origin, served = site
+        query = """
+        import module namespace c = "urn:chain" at "c.xq";
+        let $token := execute at {"xrpc://served"} { c:step1() }
+        return (
+          execute at {"xrpc://served"} { c:tag("x") },
+          execute at {"xrpc://served"} { c:tag("x") },
+          execute at {"xrpc://served"} { c:step2($token) }
+        )
+        """
+        result = origin.execute_query(query)
+        assert values(result.sequence) == ["tag-x", "tag-x", "alpha-beta"]
+        # Two bulk groups (step1; tag+step2 split by function => three
+        # groups total: step1, tag, step2) plus the direct re-send of the
+        # dependent step2 call.
+        assert result.calls_shipped >= 4
 
     def test_empty_loop_sends_nothing(self, site):
         network, origin, served = site

@@ -91,6 +91,31 @@ class TestClientSession:
         with pytest.raises(XRPCFault):
             session.call("served", "urn:m", "m.xq", "add", 1, [[[integer(1)]]])
 
+    def test_updating_bulk_result_count_mismatch_faults(self):
+        """An updating bulk response with a *wrong* non-zero result count
+        must fault, symmetric with the read-only path."""
+        from repro.soap.messages import XRPCResponse, build_response
+
+        network = SimulatedNetwork()
+        network.register_peer("srv", lambda payload: build_response(
+            XRPCResponse(module="urn:m", method="f", results=[[]])))
+        session = ClientSession(network, origin="origin")
+        with pytest.raises(XRPCFault, match="1 results"):
+            session.call("srv", "urn:m", None, "f", 0, [[], []],
+                         updating=True)
+
+    def test_updating_bulk_empty_results_accepted(self):
+        """An updating response may omit result sequences altogether."""
+        from repro.soap.messages import XRPCResponse, build_response
+
+        network = SimulatedNetwork()
+        network.register_peer("srv", lambda payload: build_response(
+            XRPCResponse(module="urn:m", method="f", results=[])))
+        session = ClientSession(network, origin="origin")
+        results = session.call("srv", "urn:m", None, "f", 0, [[], []],
+                               updating=True)
+        assert results == [[], []]
+
 
 class TestServerBehaviour:
     def test_malformed_message_returns_fault(self, site):

@@ -109,6 +109,61 @@ class TestMarshaling:
         reparsed = parse_fragment(text)
         assert n2s(reparsed) == original
 
+    def test_n2s_adopts_parsed_fragment_without_copy(self):
+        """Single-pass unmarshal: the returned element IS the parsed
+        fragment, detached from its holder (no second deep copy)."""
+        text = ('<xrpc:sequence xmlns:xrpc="http://monetdb.cwi.nl/XQuery">'
+                '<xrpc:element><name>X</name></xrpc:element>'
+                '</xrpc:sequence>')
+        wrapper = parse_fragment(text)
+        holder = wrapper.child_elements()[0]
+        parsed_child = holder.child_elements()[0]
+        [value] = n2s(wrapper)
+        assert value is parsed_child          # adopted, not copied
+        assert value.parent is None           # standalone fragment
+        assert list(value.ancestors()) == []
+        assert parsed_child not in holder.children
+
+    def test_streaming_writer_round_trips_like_s2n(self):
+        """MarshalWriter.sequence emits s2n-equivalent wire XML: parsed
+        back through n2s it yields the same sequence, typed values and
+        all, without ever building holder trees."""
+        from repro.soap import MarshalWriter
+
+        factory = NodeFactory()
+        items = [
+            integer(7),
+            string("a & <b>"),
+            parse_fragment('<a xmlns:p="urn:p"><p:b x="1">t</p:b></a>'),
+            factory.attribute("k", 'v"q'),
+            factory.text("plain"),
+            factory.comment("note"),
+            factory.processing_instruction("t", "d"),
+        ]
+        writer = MarshalWriter()
+        # Prefixes the SOAP envelope normally declares.
+        writer.start("wrap", declarations={
+            "xrpc": "http://monetdb.cwi.nl/XQuery",
+            "xsi": "http://www.w3.org/2001/XMLSchema-instance",
+        })
+        writer.sequence(items)
+        writer.end()
+        sequence_el = parse_fragment(writer.getvalue()).child_elements()[0]
+        round_tripped = n2s(sequence_el)
+        assert deep_equal(round_tripped, items)
+        assert round_tripped[0].type is xs.integer
+        assert round_tripped[3].name == "k" and round_tripped[3].value == 'v"q'
+
+    def test_marshal_fingerprint_discriminates(self):
+        from repro.soap import marshal_fingerprint
+
+        assert marshal_fingerprint([[integer(1)], [string("x")]]) == \
+            marshal_fingerprint([[integer(1)], [string("x")]])
+        assert marshal_fingerprint([[integer(1)]]) != \
+            marshal_fingerprint([[integer(2)]])
+        assert marshal_fingerprint([[integer(1)], []]) != \
+            marshal_fingerprint([[], [integer(1)]])
+
     def test_unknown_type_degrades_to_untyped(self):
         text = ('<xrpc:sequence xmlns:xrpc="http://monetdb.cwi.nl/XQuery" '
                 'xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance">'
