@@ -24,18 +24,26 @@ class Engine:
         to charge module-translation cost for a request (Table 2).
     bulk_rpc:
         Ship loop-lifted ``execute at`` calls as Bulk RPC messages.
+    accelerator:
+        Evaluate path steps set-at-a-time over the XPath-accelerator
+        structural index (pre/size/level window scans with staircase
+        pruning).  ``False`` falls back to the naive per-node axis
+        walkers — the reference implementation, kept for ablations like
+        ``bulk_rpc``.
     """
 
     name = "generic"
 
     def __init__(self, registry: Optional[ModuleRegistry] = None,
                  plan_cache: bool = True, function_cache: bool = True,
-                 bulk_rpc: bool = True, optimize_flwor_joins: bool = True) -> None:
+                 bulk_rpc: bool = True, optimize_flwor_joins: bool = True,
+                 accelerator: bool = True) -> None:
         self.registry = registry or ModuleRegistry()
         self.plan_cache_enabled = plan_cache
         self.function_cache_enabled = function_cache
         self.bulk_rpc = bulk_rpc
         self.optimize_flwor_joins = optimize_flwor_joins
+        self.accelerator = accelerator
         self._plan_cache: dict[str, CompiledQuery] = {}
         self._function_cache: set[tuple[str, str, int]] = set()
         # Wall-clock phase timers of the most recent compile (Table 3).
@@ -72,9 +80,11 @@ class MonetEngine(Engine):
     name = "monetdb-xquery"
 
     def __init__(self, registry: Optional[ModuleRegistry] = None,
-                 function_cache: bool = True, bulk_rpc: bool = True) -> None:
+                 function_cache: bool = True, bulk_rpc: bool = True,
+                 accelerator: bool = True) -> None:
         super().__init__(registry, plan_cache=function_cache,
-                         function_cache=function_cache, bulk_rpc=bulk_rpc)
+                         function_cache=function_cache, bulk_rpc=bulk_rpc,
+                         accelerator=accelerator)
 
 
 class TreeEngine(Engine):
@@ -82,9 +92,13 @@ class TreeEngine(Engine):
 
     name = "saxon-like"
 
-    def __init__(self, registry: Optional[ModuleRegistry] = None) -> None:
+    def __init__(self, registry: Optional[ModuleRegistry] = None,
+                 accelerator: bool = True) -> None:
         # No FLWOR join optimization: the paper-era Saxon only detected
         # the predicate-index join (Table 3's getPerson), which both
         # engines get via the evaluator's equality-predicate index.
+        # (Saxon's TinyTree gives it fast axes of its own, so the
+        # structural accelerator stays on by default here too.)
         super().__init__(registry, plan_cache=False, function_cache=False,
-                         bulk_rpc=False, optimize_flwor_joins=False)
+                         bulk_rpc=False, optimize_flwor_joins=False,
+                         accelerator=accelerator)

@@ -106,6 +106,7 @@ class XRPCPeer:
         ctx.pul = PendingUpdateList()
         ctx.put_store = self.store.put
         ctx.optimize_joins = self.engine.optimize_flwor_joins
+        ctx.accelerator = self.engine.accelerator
         return ctx
 
     def make_doc_resolver(self, doc_view, session: Optional[ClientSession]):
@@ -211,6 +212,7 @@ class XRPCPeer:
             xrpc_handler=self._one_at_a_time_handler(session),
             put_store=self.store.put,
             optimize_joins=self.engine.optimize_flwor_joins,
+            accelerator=self.engine.accelerator,
         )
 
     # -- Bulk RPC via loop-lifted batching ---------------------------------
@@ -237,7 +239,8 @@ class XRPCPeer:
             compiled.execute(
                 doc_resolver=resolver, variables=variables,
                 xrpc_handler=recorder.record, put_store=self.store.put,
-                optimize_joins=self.engine.optimize_flwor_joins)
+                optimize_joins=self.engine.optimize_flwor_joins,
+                accelerator=self.engine.accelerator)
             phase1_ok = True
         except Exception:
             phase1_ok = False
@@ -280,6 +283,7 @@ class XRPCPeer:
             xrpc_handler=replayer.handle,
             put_store=self.store.put,
             optimize_joins=self.engine.optimize_flwor_joins,
+            accelerator=self.engine.accelerator,
         )
 
     # -- 2PC -----------------------------------------------------------------

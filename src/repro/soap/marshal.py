@@ -250,7 +250,14 @@ def n2s(sequence_element: ElementNode) -> list:
 
 
 def _adopt(holder: ElementNode, node: Node) -> Node:
-    """Detach *node* from its holder: a standalone fragment, no copy."""
+    """Detach *node* from its holder: a standalone fragment, no copy.
+
+    The fragment becomes a tree root of its own; any structural index
+    covering the message tree is invalidated so a later query against
+    the fragment builds its own pre/size/level view (the parse pass
+    already stamped the encoding; subtree serials stay dense).
+    """
+    node._invalidate_index()
     holder.children.remove(node)
     node.parent = None
     return node
@@ -277,6 +284,7 @@ def _unmarshal_item(holder: ElementNode):
         # Reuse the holder's order key for the document node: it precedes
         # its adopted children's keys, keeping document order consistent.
         document = DocumentNode(holder.order_key)
+        holder._invalidate_index()
         children = list(holder.children)
         holder.children.clear()
         for child in children:

@@ -158,7 +158,8 @@ class XRPCWrapper:
             try:
                 result, _pul = compiled.execute(
                     doc_resolver=resolve,
-                    optimize_joins=self.engine.optimize_flwor_joins)
+                    optimize_joins=self.engine.optimize_flwor_joins,
+                    accelerator=self.engine.accelerator)
             except XQueryError as exc:
                 return build_fault("env:Sender", str(exc))
             # Document trees are built lazily during execution; report the

@@ -23,6 +23,12 @@ from repro.xdm.nodes import (
     NodeFactory,
     copy_tree,
 )
+from repro.xdm.structural import (
+    StructuralIndex,
+    invalidate_structural_index,
+    reencode_tree,
+    structural_index,
+)
 from repro.xdm.sequence import (
     atomize,
     effective_boolean_value,
@@ -55,6 +61,10 @@ __all__ = [
     "ProcessingInstructionNode",
     "NodeFactory",
     "copy_tree",
+    "StructuralIndex",
+    "structural_index",
+    "invalidate_structural_index",
+    "reencode_tree",
     "atomize",
     "effective_boolean_value",
     "string_value",

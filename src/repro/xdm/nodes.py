@@ -36,34 +36,62 @@ class NodeFactory:
 
     One factory corresponds to one document (or one constructed fragment
     root): all nodes it makes share a ``doc_id`` and receive increasing
-    serial numbers.
+    serial numbers.  The serial doubles as the node's *pre* rank in the
+    XPath-accelerator encoding; creators that know their depth (the XML
+    parser, ``copy_tree``) pass ``level`` so nodes come out fully
+    pre/size/level-stamped without a post-hoc walk — ``size`` is stamped
+    by the creator once the subtree is complete (see :meth:`issued`).
     """
 
     def __init__(self) -> None:
         self.doc_id = _next_doc_id()
-        self._serial = itertools.count(0)
+        self._serial = 0
 
     def _key(self) -> tuple[int, int]:
-        return (self.doc_id, next(self._serial))
+        serial = self._serial
+        self._serial = serial + 1
+        return (self.doc_id, serial)
 
-    def document(self, uri: Optional[str] = None) -> "DocumentNode":
-        return DocumentNode(self._key(), uri)
+    @property
+    def issued(self) -> int:
+        """Serials issued so far; an element created at serial ``s`` whose
+        subtree is complete has ``size = factory.issued - s - 1``."""
+        return self._serial
 
-    def element(self, name: str, ns_uri: Optional[str] = None) -> "ElementNode":
-        return ElementNode(self._key(), name, ns_uri)
+    def document(self, uri: Optional[str] = None,
+                 level: int = 0) -> "DocumentNode":
+        node = DocumentNode(self._key(), uri)
+        node.level = level
+        return node
+
+    def element(self, name: str, ns_uri: Optional[str] = None,
+                level: int = 0) -> "ElementNode":
+        node = ElementNode(self._key(), name, ns_uri)
+        node.level = level
+        return node
 
     def attribute(self, name: str, value: str,
-                  ns_uri: Optional[str] = None) -> "AttributeNode":
-        return AttributeNode(self._key(), name, value, ns_uri)
+                  ns_uri: Optional[str] = None,
+                  level: int = 0) -> "AttributeNode":
+        node = AttributeNode(self._key(), name, value, ns_uri)
+        node.level = level
+        return node
 
-    def text(self, content: str) -> "TextNode":
-        return TextNode(self._key(), content)
+    def text(self, content: str, level: int = 0) -> "TextNode":
+        node = TextNode(self._key(), content)
+        node.level = level
+        return node
 
-    def comment(self, content: str) -> "CommentNode":
-        return CommentNode(self._key(), content)
+    def comment(self, content: str, level: int = 0) -> "CommentNode":
+        node = CommentNode(self._key(), content)
+        node.level = level
+        return node
 
-    def processing_instruction(self, target: str, content: str) -> "ProcessingInstructionNode":
-        return ProcessingInstructionNode(self._key(), target, content)
+    def processing_instruction(self, target: str, content: str,
+                               level: int = 0) -> "ProcessingInstructionNode":
+        node = ProcessingInstructionNode(self._key(), target, content)
+        node.level = level
+        return node
 
 
 class Node:
@@ -75,9 +103,35 @@ class Node:
 
     kind: str = "node"
 
+    # XPath-accelerator stamps.  ``pre`` is the document-order serial
+    # (the same key every document-order comparison in the engine uses);
+    # ``size`` counts the serials issued inside the subtree (attributes
+    # included), so the descendant window is ``pre < x <= pre + size``;
+    # ``level`` is the depth below the construction root.  Stamped in one
+    # pass by the parsers / ``copy_tree`` and restored by
+    # ``reencode_tree`` after updates — this serial-unit encoding is what
+    # the relational pushdown (ROADMAP) compiles window predicates
+    # against.  Axis evaluation itself reads the authoritative per-tree
+    # :class:`~repro.xdm.structural.StructuralIndex`, which also covers
+    # trees assembled without stamps.
+    size: int = 0
+    level: int = 0
+    # Back-reference to the StructuralIndex that covers this node, set
+    # when one is built; mutators flip its ``stale`` bit (O(1)).
+    _sidx = None
+
     def __init__(self, order_key: tuple[int, int]) -> None:
         self.order_key = order_key
         self.parent: Optional[Node] = None
+
+    @property
+    def pre(self) -> int:
+        return self.order_key[1]
+
+    def _invalidate_index(self) -> None:
+        index = self._sidx
+        if index is not None:
+            index.stale = True
 
     # -- axes ------------------------------------------------------------
 
@@ -102,10 +156,20 @@ class Node:
             node = node.parent
 
     def descendants(self, include_self: bool = False) -> Iterator["Node"]:
+        """Subtree in document order, iteratively (deep trees would
+        overflow the interpreter stack with the obvious recursion)."""
         if include_self:
             yield self
-        for child in self.children:
-            yield from child.descendants(include_self=True)
+        stack = [iter(self.children)]
+        while stack:
+            child = next(stack[-1], None)
+            if child is None:
+                stack.pop()
+                continue
+            yield child
+            children = child.children
+            if children:
+                stack.append(iter(children))
 
     def following_siblings(self) -> Iterator["Node"]:
         if self.parent is None or isinstance(self, AttributeNode):
@@ -132,15 +196,22 @@ class Node:
                 break
 
     def preceding(self) -> Iterator["Node"]:
-        """Nodes before self in document order, excluding ancestors."""
-        ancestors = set(id(a) for a in self.ancestors())
-        results = []
-        for node in self.root().descendants(include_self=True):
-            if node is self:
-                break
-            if id(node) not in ancestors:
-                results.append(node)
-        yield from reversed(results)
+        """Nodes before self in document order, excluding ancestors.
+
+        Yields in reverse document order without ever materialising the
+        whole document: climbing the ancestor chain, each preceding
+        sibling's subtree is emitted back-to-front.  Nodes *after* self
+        are never visited (the old implementation walked the entire tree
+        forward and reversed a list).  For an attribute, the chain starts
+        at its owner, so the result equals the owner's preceding axis.
+        """
+        node: Optional[Node] = self
+        while node is not None:
+            for sibling in node.preceding_siblings():
+                subtree = [sibling]
+                subtree.extend(sibling.descendants())
+                yield from reversed(subtree)
+            node = node.parent
 
     # -- values ------------------------------------------------------------
 
@@ -166,6 +237,24 @@ class Node:
 
 
 def _index_of(nodes: list[Node], target: Node) -> int:
+    """Position of *target* (by identity) in its parent's child list.
+
+    Children are appended in document order, so a bisect on the order
+    key finds the position in O(log n); identity is verified around the
+    probe (several children cannot share a key within one tree), with a
+    linear scan as the safety net for hand-assembled cross-factory trees
+    whose keys may not be monotone.
+    """
+    key = target.order_key
+    low, high = 0, len(nodes)
+    while low < high:
+        mid = (low + high) // 2
+        if nodes[mid].order_key < key:
+            low = mid + 1
+        else:
+            high = mid
+    if low < len(nodes) and nodes[low] is target:
+        return low
     for index, node in enumerate(nodes):
         if node is target:
             return index
@@ -187,6 +276,7 @@ class DocumentNode(Node):
     def append(self, child: Node) -> None:
         child.parent = self
         self._children.append(child)
+        self._invalidate_index()
 
     def string_value(self) -> str:
         return "".join(
@@ -234,10 +324,12 @@ class ElementNode(Node):
     def append(self, child: Node) -> None:
         child.parent = self
         self._children.append(child)
+        self._invalidate_index()
 
     def set_attribute(self, attribute: "AttributeNode") -> None:
         attribute.parent = self
         self._attributes.append(attribute)
+        self._invalidate_index()
 
     def get_attribute(self, name: str) -> Optional["AttributeNode"]:
         """Lookup by lexical name first, falling back to local name."""
@@ -350,27 +442,32 @@ def copy_into(node: Node, factory: NodeFactory) -> Node:
     return _copy_into(node, factory)
 
 
-def _copy_into(node: Node, factory: NodeFactory) -> Node:
+def _copy_into(node: Node, factory: NodeFactory, level: int = 0) -> Node:
     if isinstance(node, DocumentNode):
-        copy = factory.document(node.uri)
+        copy = factory.document(node.uri, level=level)
         for child in node.children:
-            copy.append(_copy_into(child, factory))
+            copy.append(_copy_into(child, factory, level + 1))
+        copy.size = factory.issued - copy.order_key[1] - 1
         return copy
     if isinstance(node, ElementNode):
-        copy = factory.element(node.name, node.ns_uri)
+        copy = factory.element(node.name, node.ns_uri, level=level)
         copy.namespace_declarations = dict(node.namespace_declarations)
         for attribute in node.attributes:
             copy.set_attribute(
-                factory.attribute(attribute.name, attribute.value, attribute.ns_uri))
+                factory.attribute(attribute.name, attribute.value,
+                                  attribute.ns_uri, level=level + 1))
         for child in node.children:
-            copy.append(_copy_into(child, factory))
+            copy.append(_copy_into(child, factory, level + 1))
+        copy.size = factory.issued - copy.order_key[1] - 1
         return copy
     if isinstance(node, AttributeNode):
-        return factory.attribute(node.name, node.value, node.ns_uri)
+        return factory.attribute(node.name, node.value, node.ns_uri,
+                                 level=level)
     if isinstance(node, TextNode):
-        return factory.text(node.content)
+        return factory.text(node.content, level=level)
     if isinstance(node, CommentNode):
-        return factory.comment(node.content)
+        return factory.comment(node.content, level=level)
     if isinstance(node, ProcessingInstructionNode):
-        return factory.processing_instruction(node.target, node.content)
+        return factory.processing_instruction(node.target, node.content,
+                                              level=level)
     raise TypeError(f"cannot copy node kind {node.kind}")

@@ -1,0 +1,242 @@
+"""XPath-accelerator structural encoding and per-tree index.
+
+This module adds the storage-layer machinery of the *XPath accelerator*
+(Grust's pre/size/level encoding, the representation Pathfinder compiles
+paths against inside MonetDB/XQuery):
+
+* every node carries a ``pre / size / level`` stamp — ``pre`` is the
+  node's document-order serial (``order_key[1]``), ``size`` the number of
+  serials issued inside its subtree (attributes included), ``level`` its
+  construction depth;
+* per tree root, a lazily built :class:`StructuralIndex` materialises the
+  pre-ordered node array plus subtree extents and depths, and partitions
+  element pres by tag name — the columns a window scan needs to answer
+  ``descendant`` (``pre in (pre, pre+size]``), ``following``
+  (``pre > pre+size``) and friends without walking the tree;
+* :func:`reencode_tree` restamps a tree after structural mutation (XQUF
+  PUL application), restoring the dense-serial invariant the window
+  arithmetic and global document order rely on.
+
+Index invalidation is O(1) at mutation time: building an index stamps
+every tree node with a back-reference (``_sidx``); the mutating entry
+points (``append``/``set_attribute``/PUL primitives/``n2s`` adoption)
+flip the referenced index's ``stale`` bit when such a stamp is present.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, Optional
+
+from repro.xdm.nodes import ElementNode, Node, _next_doc_id
+
+
+class StructuralIndex:
+    """Pre/size/level columns of one tree, in document order.
+
+    ``nodes[pre]`` is the tree node with positional pre rank ``pre``
+    (attributes are not ranked; they are reached through their owner
+    element, matching the accelerator's separate attribute table).
+    ``sizes[pre]`` is the number of tree nodes in the subtree below it,
+    so the descendant window of ``pre`` is ``(pre, pre + sizes[pre]]``.
+    ``levels[pre]`` is the depth below the tree root.
+    """
+
+    __slots__ = ("root", "generation", "stale", "nodes", "sizes", "levels",
+                 "pre_of", "_by_name", "value_indexes")
+
+    def __init__(self, root: Node, generation: int) -> None:
+        self.root = root
+        self.generation = generation
+        self.stale = False
+        # Equality-predicate value indexes (the evaluator's hash-join
+        # probes) live on the index so tree mutation drops them with it.
+        self.value_indexes: dict = {}
+        self._by_name: Optional[dict[str, list[int]]] = None
+        self._build(root)
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self, root: Node) -> None:
+        nodes: list[Node] = [root]
+        sizes: list[int] = [0]
+        levels: list[int] = [0]
+        pre_of: dict[int, int] = {id(root): 0}
+        root._sidx = self
+        for attribute in root.attributes:
+            attribute._sidx = self
+        stack: list[tuple[int, Iterator[Node]]] = [(0, iter(root.children))]
+        while stack:
+            parent_pre, children = stack[-1]
+            child = next(children, None)
+            if child is None:
+                stack.pop()
+                sizes[parent_pre] = len(nodes) - parent_pre - 1
+                continue
+            pre = len(nodes)
+            pre_of[id(child)] = pre
+            nodes.append(child)
+            sizes.append(0)
+            levels.append(len(stack))
+            child._sidx = self
+            for attribute in child.attributes:
+                attribute._sidx = self
+            stack.append((pre, iter(child.children)))
+        self.nodes = nodes
+        self.sizes = sizes
+        self.levels = levels
+        self.pre_of = pre_of
+
+    # -- tag-name partition ------------------------------------------------
+
+    def name_pres(self, local_name: str) -> list[int]:
+        """Sorted pre ranks of elements with the given local name."""
+        by_name = self._by_name
+        if by_name is None:
+            by_name = self._by_name = {}
+            for pre, node in enumerate(self.nodes):
+                if isinstance(node, ElementNode):
+                    by_name.setdefault(node.local_name, []).append(pre)
+        return by_name.get(local_name, _EMPTY_PRES)
+
+    # -- window scans ------------------------------------------------------
+
+    def window(self, low: int, high: int,
+               local_name: Optional[str] = None) -> list[int]:
+        """Pre ranks in the half-open window ``(low, high]``."""
+        if local_name is None:
+            return list(range(low + 1, min(high, len(self.nodes) - 1) + 1))
+        pres = self.name_pres(local_name)
+        return pres[bisect_right(pres, low):bisect_right(pres, high)]
+
+    def after(self, boundary: int,
+              local_name: Optional[str] = None) -> list[int]:
+        """Pre ranks strictly greater than *boundary* (following window)."""
+        if local_name is None:
+            return list(range(boundary + 1, len(self.nodes)))
+        pres = self.name_pres(local_name)
+        return pres[bisect_right(pres, boundary):]
+
+    def before(self, boundary: int,
+               local_name: Optional[str] = None) -> list[int]:
+        """Pre ranks strictly less than *boundary* (preceding window)."""
+        if local_name is None:
+            return list(range(0, boundary))
+        pres = self.name_pres(local_name)
+        return pres[:bisect_left(pres, boundary)]
+
+    def ancestor_pres(self, pre: int) -> list[int]:
+        """Pre ranks of the ancestors of *pre*, nearest first."""
+        result: list[int] = []
+        node = self.nodes[pre].parent
+        while node is not None:
+            result.append(self.pre_of[id(node)])
+            node = node.parent
+        return result
+
+
+_EMPTY_PRES: list[int] = []
+
+
+def structural_index(root: Node) -> StructuralIndex:
+    """The (cached) structural index of the tree rooted at *root*.
+
+    Rebuilt lazily when the cached index is stale (tree mutated) or was
+    built for a different root (the node was adopted into another tree).
+    """
+    index = root._sidx
+    if index is not None and not index.stale and index.root is root:
+        return index
+    generation = getattr(root, "_struct_gen", 0) + 1
+    root._struct_gen = generation
+    return StructuralIndex(root, generation)
+
+
+def invalidate_structural_index(node: Node) -> None:
+    """Mark the index covering *node* stale, if one was ever built."""
+    index = node._sidx
+    if index is not None:
+        index.stale = True
+
+
+def reencode_tree(root: Node) -> None:
+    """Restamp ``order_key`` / ``size`` / ``level`` over a mutated tree.
+
+    XQUF updates splice in nodes minted by other factories, breaking the
+    invariant that serials are dense and increasing in document order
+    (inserted nodes would globally sort by their construction key, not
+    their tree position).  One pre-order pass re-keys the whole tree
+    under a fresh ``doc_id`` — attributes are stamped directly after
+    their owner, exactly like the parsers do — and invalidates any
+    cached structural index.
+    """
+    invalidate_structural_index(root)
+    doc_id = _next_doc_id()
+    serial = 0
+    root.order_key = (doc_id, serial)
+    root.level = 0
+    for attribute in root.attributes:
+        serial += 1
+        attribute.order_key = (doc_id, serial)
+        attribute.level = 1
+        attribute.size = 0
+        invalidate_structural_index(attribute)
+    stack: list[tuple[Node, Iterator[Node]]] = [(root, iter(root.children))]
+    while stack:
+        parent, children = stack[-1]
+        child = next(children, None)
+        if child is None:
+            stack.pop()
+            parent.size = serial - parent.order_key[1]
+            continue
+        invalidate_structural_index(child)
+        serial += 1
+        child.order_key = (doc_id, serial)
+        child.level = parent.level + 1
+        for attribute in child.attributes:
+            serial += 1
+            attribute.order_key = (doc_id, serial)
+            attribute.level = child.level + 1
+            attribute.size = 0
+            invalidate_structural_index(attribute)
+        stack.append((child, iter(child.children)))
+
+
+def staircase_prune(sorted_pres: list[int], sizes: list[int]) -> list[int]:
+    """Drop context pres covered by an earlier context's subtree window.
+
+    This is the staircase-join pruning step: on a pre-sorted context
+    sequence, any node inside a previous node's ``(pre, pre+size]``
+    window contributes no new descendants (and no new following nodes),
+    so the windows that remain are disjoint and ascending — their
+    concatenated scans are duplicate-free and document-ordered *by
+    construction*.
+    """
+    pruned: list[int] = []
+    covered = -1
+    for pre in sorted_pres:
+        if pre <= covered:
+            continue
+        pruned.append(pre)
+        end = pre + sizes[pre]
+        if end > covered:
+            covered = end
+    return pruned
+
+
+def tree_groups(nodes: list[Node]) -> list[tuple[Node, list[Node]]]:
+    """Group nodes by tree root, groups ordered by global document order.
+
+    Every tree root carries the minimal order key of its tree and
+    distinct trees occupy disjoint key ranges, so concatenating per-group
+    results in root-key order equals one global document-order merge.
+    """
+    groups: dict[int, tuple[Node, list[Node]]] = {}
+    for node in nodes:
+        root = node.root()
+        entry = groups.get(id(root))
+        if entry is None:
+            groups[id(root)] = (root, [node])
+        else:
+            entry[1].append(node)
+    return sorted(groups.values(), key=lambda entry: entry[0].order_key)

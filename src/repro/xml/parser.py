@@ -122,7 +122,9 @@ class _Parser:
         scanner.skip_whitespace()
         if scanner.at_end() or scanner.peek() != "<":
             raise scanner.error("expected root element")
-        root = self._parse_element(namespaces={"xml": "http://www.w3.org/XML/1998/namespace"})
+        root = self._parse_element(
+            namespaces={"xml": "http://www.w3.org/XML/1998/namespace"},
+            level=1)
         document.append(root)
         # Trailing misc: comments / PIs / whitespace only.
         while not scanner.at_end():
@@ -130,11 +132,14 @@ class _Parser:
             if scanner.at_end():
                 break
             if scanner.startswith("<!--"):
-                document.append(self._parse_comment())
+                document.append(self._parse_comment(level=1))
             elif scanner.startswith("<?"):
-                document.append(self._parse_pi())
+                document.append(self._parse_pi(level=1))
             else:
                 raise scanner.error("content after document element")
+        # pre/size/level stamping completes within the parse pass itself:
+        # the document's extent is simply every serial issued after it.
+        document.size = self.factory.issued - 1
         return document
 
     # -- prolog -------------------------------------------------------------
@@ -147,11 +152,11 @@ class _Parser:
         while True:
             scanner.skip_whitespace()
             if scanner.startswith("<!--"):
-                document.append(self._parse_comment())
+                document.append(self._parse_comment(level=1))
             elif scanner.startswith("<!DOCTYPE"):
                 self._skip_doctype()
             elif scanner.startswith("<?"):
-                document.append(self._parse_pi())
+                document.append(self._parse_pi(level=1))
             else:
                 break
 
@@ -171,7 +176,8 @@ class _Parser:
 
     # -- element content ------------------------------------------------------
 
-    def _parse_element(self, namespaces: dict[str, str]) -> ElementNode:
+    def _parse_element(self, namespaces: dict[str, str],
+                       level: int = 0) -> ElementNode:
         scanner = self.scanner
         scanner.expect("<")
         name = scanner.read_name()
@@ -209,35 +215,42 @@ class _Parser:
                 scope[prefix] = value
                 declarations[prefix] = value
 
-        element = self.factory.element(name, self._resolve(name, scope, default=True))
+        element = self.factory.element(
+            name, self._resolve(name, scope, default=True), level=level)
         element.namespace_declarations = declarations
         for attr_name, value in raw_attributes:
             if attr_name == "xmlns" or attr_name.startswith("xmlns:"):
                 ns_uri: Optional[str] = XMLNS_URI
             else:
                 ns_uri = self._resolve(attr_name, scope, default=False)
-            element.set_attribute(self.factory.attribute(attr_name, value, ns_uri))
+            element.set_attribute(self.factory.attribute(
+                attr_name, value, ns_uri, level=level + 1))
 
         if scanner.startswith("/>"):
+            element.size = self.factory.issued - element.order_key[1] - 1
             scanner.advance(2)
             return element
         scanner.expect(">")
-        self._parse_content(element, scope)
+        self._parse_content(element, scope, level + 1)
         closing = scanner.read_name()
         if closing != name:
             raise scanner.error(
                 f"mismatched end tag: expected </{name}>, found </{closing}>")
         scanner.skip_whitespace()
         scanner.expect(">")
+        # Subtree complete: its extent is every serial issued since ours.
+        element.size = self.factory.issued - element.order_key[1] - 1
         return element
 
-    def _parse_content(self, element: ElementNode, namespaces: dict[str, str]) -> None:
+    def _parse_content(self, element: ElementNode, namespaces: dict[str, str],
+                       level: int = 0) -> None:
         scanner = self.scanner
         text_buffer: list[str] = []
 
         def flush_text() -> None:
             if text_buffer:
-                element.append(self.factory.text("".join(text_buffer)))
+                element.append(self.factory.text("".join(text_buffer),
+                                                 level=level))
                 text_buffer.clear()
 
         while True:
@@ -249,17 +262,17 @@ class _Parser:
                 return
             if scanner.startswith("<!--"):
                 flush_text()
-                element.append(self._parse_comment())
+                element.append(self._parse_comment(level=level))
             elif scanner.startswith("<![CDATA["):
                 scanner.advance(9)
                 text_buffer.append(
                     scanner.read_until("]]>", "unterminated CDATA section"))
             elif scanner.startswith("<?"):
                 flush_text()
-                element.append(self._parse_pi())
+                element.append(self._parse_pi(level=level))
             elif scanner.peek() == "<":
                 flush_text()
-                element.append(self._parse_element(namespaces))
+                element.append(self._parse_element(namespaces, level=level))
             else:
                 start = scanner.pos
                 while not scanner.at_end() and scanner.peek() not in "<":
@@ -267,21 +280,22 @@ class _Parser:
                 raw = scanner.text[start:scanner.pos]
                 text_buffer.append(self._expand_references(raw))
 
-    def _parse_comment(self) -> Node:
+    def _parse_comment(self, level: int = 0) -> Node:
         self.scanner.expect("<!--")
         content = self.scanner.read_until("-->", "unterminated comment")
         if "--" in content:
             raise self.scanner.error("'--' not allowed inside comment")
-        return self.factory.comment(content)
+        return self.factory.comment(content, level=level)
 
-    def _parse_pi(self) -> Node:
+    def _parse_pi(self, level: int = 0) -> Node:
         scanner = self.scanner
         scanner.expect("<?")
         target = scanner.read_name()
         if target.lower() == "xml":
             raise scanner.error("reserved processing-instruction target 'xml'")
         raw = scanner.read_until("?>", "unterminated processing instruction")
-        return self.factory.processing_instruction(target, raw.strip())
+        return self.factory.processing_instruction(target, raw.strip(),
+                                                   level=level)
 
     # -- helpers ---------------------------------------------------------------
 

@@ -132,6 +132,10 @@ class DynamicContext:
         # Engine capability: FLWOR equi-join hash optimization (MonetDB's
         # relational backend has it; the paper-era Saxon does not).
         self.optimize_joins = True
+        # Set-at-a-time axis evaluation over the XPath-accelerator
+        # structural index (window scans + staircase pruning); disabled
+        # for the naive per-node reference walkers.
+        self.accelerator = True
         # Depth guard against runaway recursion in user functions.
         self.call_depth = 0
 
@@ -148,6 +152,7 @@ class DynamicContext:
         derived.put_store = self.put_store
         derived.constructor_namespaces = self.constructor_namespaces
         derived.optimize_joins = self.optimize_joins
+        derived.accelerator = self.accelerator
         derived.call_depth = self.call_depth
         return derived
 
@@ -159,6 +164,7 @@ class DynamicContext:
         derived.pul = self.pul
         derived.put_store = self.put_store
         derived.optimize_joins = self.optimize_joins
+        derived.accelerator = self.accelerator
         derived.call_depth = self.call_depth + 1
         if derived.call_depth > 512:
             raise DynamicError("FODC9999", "function recursion too deep")

@@ -45,6 +45,11 @@ from repro.xdm.sequence import (
     document_order_sort,
     effective_boolean_value,
 )
+from repro.xdm.structural import (
+    staircase_prune,
+    structural_index,
+    tree_groups,
+)
 from repro.xdm.types import xs, type_by_name, is_known_type
 from repro.xquery import xast as A
 from repro.xquery import seqtype
@@ -436,11 +441,16 @@ class Evaluator:
         indexed = self._try_indexed_step(step, input_sequence, ctx)
         if indexed is not None:
             return indexed
-        results: list[Node] = []
         for item in input_sequence:
             if not isinstance(item, Node):
                 raise TypeError_(
                     "XPTY0019", "path step applied to a non-node item")
+        if ctx.accelerator:
+            return self._eval_axis_step_accel(step, input_sequence, ctx)
+        # Naive reference walkers: per context node, recursive generators
+        # plus a document-order sort of the pooled results.
+        results: list[Node] = []
+        for item in input_sequence:
             candidates = [
                 node for node in _axis_nodes(item, step.axis)
                 if self._node_test_matches(node, step.node_test, step.axis, ctx)
@@ -448,6 +458,217 @@ class Evaluator:
             candidates = self._apply_predicates(candidates, step.predicates, ctx)
             results.extend(candidates)
         return document_order_sort(results)
+
+    # -- set-at-a-time axis evaluation (XPath accelerator) -----------------
+    #
+    # The whole context sequence is mapped through an axis as window scans
+    # over the per-tree pre array: ``descendant`` is ``pre in (pre,
+    # pre+size]``, ``following`` is ``pre > pre+size``, ``ancestor`` walks
+    # parent chains with staircase-style early exit.  Covered context
+    # nodes are pruned before scanning, so the window results are
+    # duplicate-free and document-ordered *by construction* — no per-step
+    # document_order_sort.  Name tests pick the tag-partitioned pre array
+    # instead of testing every node.
+
+    def _eval_axis_step_accel(self, step: A.AxisStep, input_sequence: Sequence,
+                              ctx: DynamicContext) -> Sequence:
+        if not input_sequence:
+            return []
+        results: list[Node] = []
+        for root, members in tree_groups(input_sequence):
+            results.extend(self._axis_over_tree(step, root, members, ctx))
+        return results
+
+    def _axis_over_tree(self, step: A.AxisStep, root: Node,
+                        members: list, ctx: DynamicContext) -> list:
+        index = structural_index(root)
+        axis = step.axis
+        # Context split: pre-ranked tree nodes vs attribute nodes (the
+        # accelerator keeps attributes out of the pre array, like
+        # MonetDB's separate attribute table).
+        pre_of = index.pre_of
+        pres_seen: set[int] = set()
+        ctx_pres: list[int] = []
+        attr_seen: set[int] = set()
+        attr_members: list[Node] = []
+        for node in members:
+            if isinstance(node, AttributeNode):
+                if id(node) not in attr_seen:
+                    attr_seen.add(id(node))
+                    attr_members.append(node)
+            else:
+                pre = pre_of[id(node)]
+                if pre not in pres_seen:
+                    pres_seen.add(pre)
+                    ctx_pres.append(pre)
+        ctx_pres.sort()
+
+        if step.predicates:
+            # Predicates are per-context (position()/last() count within
+            # one context node's candidates): evaluate each context over
+            # indexed candidate windows, then merge.
+            results: list[Node] = []
+            ordered_members = [index.nodes[p] for p in ctx_pres] + attr_members
+            for node in ordered_members:
+                candidates = [
+                    n for n in self._axis_candidates(node, axis, index)
+                    if self._node_test_matches(n, step.node_test, axis, ctx)
+                ]
+                results.extend(
+                    self._apply_predicates(candidates, step.predicates, ctx))
+            return document_order_sort(results)
+
+        return self._axis_windows(step, index, ctx_pres, attr_members, ctx)
+
+    def _axis_windows(self, step: A.AxisStep, index,
+                      ctx_pres: list, attr_members: list,
+                      ctx: DynamicContext) -> list:
+        """Whole-context window scans; results doc-ordered by construction."""
+        axis = step.axis
+        test = step.node_test
+        nodes = index.nodes
+        sizes = index.sizes
+        pre_of = index.pre_of
+        local = None
+        if isinstance(test, A.NameTest) and test.local != "*":
+            local = test.local
+
+        if axis == "attribute":
+            out_attrs: list[Node] = []
+            for p in ctx_pres:
+                for attribute in nodes[p].attributes:
+                    if self._node_test_matches(attribute, test, axis, ctx):
+                        out_attrs.append(attribute)
+            return out_attrs
+
+        # Attribute context nodes: upward/order axes go through the owner
+        # element; self-including axes contribute the attribute itself.
+        owner_pres = [pre_of[id(a.parent)] for a in attr_members
+                      if a.parent is not None]
+        extra: list[Node] = []
+        if axis in ("self", "descendant-or-self", "ancestor-or-self"):
+            extra = [a for a in attr_members
+                     if self._node_test_matches(a, test, axis, ctx)]
+
+        out_pres: list[int] = []
+        if axis == "self":
+            out_pres = ctx_pres
+        elif axis in ("descendant", "descendant-or-self"):
+            for p in staircase_prune(ctx_pres, sizes):
+                if axis == "descendant-or-self":
+                    out_pres.append(p)  # non-matching selves filtered below
+                out_pres.extend(index.window(p, p + sizes[p], local))
+        elif axis == "child":
+            gathered: list[int] = []
+            for p in ctx_pres:
+                end = p + sizes[p]
+                q = p + 1
+                while q <= end:
+                    gathered.append(q)
+                    q += sizes[q] + 1
+            gathered.sort()  # children of nested contexts interleave
+            out_pres = gathered
+        elif axis == "parent":
+            parent_set: set[int] = set(owner_pres)
+            for p in ctx_pres:
+                parent = nodes[p].parent
+                if parent is not None:
+                    parent_set.add(pre_of[id(parent)])
+            out_pres = sorted(parent_set)
+        elif axis in ("ancestor", "ancestor-or-self"):
+            ancestor_set: set[int] = set()
+            chains = [nodes[p].parent for p in ctx_pres]
+            chains.extend(a.parent for a in attr_members)
+            for node in chains:
+                while node is not None:
+                    q = pre_of[id(node)]
+                    if q in ancestor_set:
+                        break  # staircase early exit: chain already seen
+                    ancestor_set.add(q)
+                    node = node.parent
+            if axis == "ancestor-or-self":
+                ancestor_set.update(ctx_pres)
+            out_pres = sorted(ancestor_set)
+        elif axis in ("following-sibling", "preceding-sibling"):
+            sibling_set: set[int] = set()
+            for p in ctx_pres:
+                parent = nodes[p].parent
+                if parent is None:
+                    continue
+                pp = pre_of[id(parent)]
+                if axis == "following-sibling":
+                    q = p + sizes[p] + 1
+                    end = pp + sizes[pp]
+                    while q <= end:
+                        sibling_set.add(q)
+                        q += sizes[q] + 1
+                else:
+                    q = pp + 1
+                    while q < p:
+                        sibling_set.add(q)
+                        q += sizes[q] + 1
+            out_pres = sorted(sibling_set)
+        elif axis == "following":
+            ends = [p + sizes[p] for p in ctx_pres]
+            ends.extend(p + sizes[p] for p in owner_pres)
+            if ends:
+                out_pres = index.after(min(ends), local)
+        elif axis == "preceding":
+            starts = ctx_pres + owner_pres
+            if starts:
+                boundary = max(starts)
+                ancestors = set(index.ancestor_pres(boundary))
+                out_pres = [q for q in index.before(boundary, local)
+                            if q not in ancestors]
+        else:  # pragma: no cover - parser restricts axes
+            raise DynamicError("XPST0003", f"unknown axis {axis}")
+
+        if isinstance(test, A.KindTest) and test.kind == "node":
+            out_nodes = [nodes[q] for q in out_pres]
+        else:
+            out_nodes = [
+                node for node in (nodes[q] for q in out_pres)
+                if self._node_test_matches(node, test, axis, ctx)
+            ]
+        if extra:
+            return document_order_sort(out_nodes + extra)
+        return out_nodes
+
+    def _axis_candidates(self, node: Node, axis: str, index) -> list:
+        """Per-context candidates in the reference walkers' order, but
+        generated from the structural index where a window scan wins."""
+        if axis in ("child", "attribute", "self", "parent",
+                    "following-sibling", "preceding-sibling"):
+            return _axis_nodes(node, axis)
+        if isinstance(node, AttributeNode):
+            owner = node.parent
+            if axis in ("ancestor", "ancestor-or-self"):
+                chain = [] if owner is None else [owner] + list(owner.ancestors())
+                return [node] + chain if axis == "ancestor-or-self" else chain
+            if axis == "descendant":
+                return []
+            if axis == "descendant-or-self":
+                return [node]
+            if owner is None:
+                return []
+            node = owner  # following/preceding go through the owner
+        nodes = index.nodes
+        sizes = index.sizes
+        p = index.pre_of[id(node)]
+        if axis == "descendant":
+            return nodes[p + 1:p + sizes[p] + 1]
+        if axis == "descendant-or-self":
+            return nodes[p:p + sizes[p] + 1]
+        if axis in ("ancestor", "ancestor-or-self"):
+            chain = list(node.ancestors())
+            return [node] + chain if axis == "ancestor-or-self" else chain
+        if axis == "following":
+            return nodes[p + sizes[p] + 1:]
+        if axis == "preceding":
+            ancestors = set(index.ancestor_pres(p))
+            return [nodes[q] for q in range(p - 1, -1, -1)
+                    if q not in ancestors]
+        raise DynamicError("XPST0003", f"unknown axis {axis}")
 
     # -- equality-predicate index ------------------------------------------
     #
@@ -482,23 +703,30 @@ class Evaluator:
 
     def _axis_value_index(self, anchor: Node, step: A.AxisStep,
                           key_path: tuple, ctx: DynamicContext) -> dict:
-        cache = getattr(anchor.root(), "_xq_value_indexes", None)
-        if cache is None:
-            cache = {}
-            setattr(anchor.root(), "_xq_value_indexes", cache)
+        """Value index cached on the tree's StructuralIndex.
+
+        The cache key is the anchor's *pre rank* within the current index
+        generation — stable for the index's lifetime (the index pins the
+        tree's nodes, so no ``id()`` reuse) — and any tree mutation
+        replaces the index, dropping stale value indexes with it.
+        """
+        structure = structural_index(anchor.root())
         assert isinstance(step.node_test, A.NameTest)
-        cache_key = (id(anchor), step.axis, step.node_test.prefix,
+        anchor_pre = structure.pre_of.get(id(anchor))
+        cache_key = (anchor_pre, step.axis, step.node_test.prefix,
                      step.node_test.local, key_path)
-        index = cache.get(cache_key)
-        if index is not None:
-            return index
-        index = {}
+        if anchor_pre is not None:
+            cached = structure.value_indexes.get(cache_key)
+            if cached is not None:
+                return cached
+        index: dict = {}
         for node in _axis_nodes(anchor, step.axis):
             if not self._node_test_matches(node, step.node_test, step.axis, ctx):
                 continue
             for value in _walk_key_path(node, key_path):
                 index.setdefault(value, []).append(node)
-        cache[cache_key] = index
+        if anchor_pre is not None:
+            structure.value_indexes[cache_key] = index
         return index
 
     def _apply_predicates(self, items: Sequence, predicates: list[A.Expr],
@@ -1288,6 +1516,7 @@ class CompiledQuery:
         context_item=None,
         put_store=None,
         optimize_joins: bool = True,
+        accelerator: bool = True,
     ) -> tuple[Sequence, PendingUpdateList]:
         """Run the query body; returns (result sequence, pending updates).
 
@@ -1301,6 +1530,7 @@ class CompiledQuery:
         ctx.pul = PendingUpdateList()
         ctx.put_store = put_store
         ctx.optimize_joins = optimize_joins
+        ctx.accelerator = accelerator
         if context_item is not None:
             ctx.focus_item = context_item
             ctx.focus_position = 1
@@ -1327,6 +1557,7 @@ def evaluate_query(
     context_item=None,
     apply_pending_updates: bool = True,
     put_store=None,
+    accelerator: bool = True,
 ) -> Sequence:
     """One-shot convenience: compile, execute, (optionally) apply updates."""
     from repro.xquf.pul import apply_updates
@@ -1338,6 +1569,7 @@ def evaluate_query(
         xrpc_handler=xrpc_handler,
         context_item=context_item,
         put_store=put_store,
+        accelerator=accelerator,
     )
     if apply_pending_updates and pul:
         apply_updates(pul)

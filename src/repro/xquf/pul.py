@@ -241,16 +241,41 @@ def apply_updates(pul: PendingUpdateList) -> None:
     Deletions are applied last (after inserts/replaces), following the
     XQUF semantics that the primitives operate against the pre-update
     tree as far as observable.
+
+    Afterwards, every structurally mutated tree is re-encoded
+    (:func:`~repro.xdm.structural.reencode_tree`): spliced-in content
+    minted by other node factories receives order keys matching its new
+    tree position, restoring the dense pre/size/level encoding.  Value
+    and rename updates only invalidate the affected tree's structural
+    index (and with it the cached equality-predicate value indexes).
     """
-    # Mutations invalidate any equality-predicate indexes cached on the
-    # affected trees (see the evaluator's _axis_value_index).
+    from repro.xdm.structural import invalidate_structural_index, reencode_tree
+
+    structural = (InsertInto, InsertFirst, InsertLast, InsertBefore,
+                  InsertAfter, DeleteNode, ReplaceNode)
+
+    def is_structural(primitive: UpdatePrimitive) -> bool:
+        if isinstance(primitive, structural):
+            return True
+        # ReplaceValue on an *element* splices in a fresh-factory text
+        # node — a structural change needing re-encoding like any insert.
+        return isinstance(primitive, ReplaceValue) and \
+            isinstance(primitive.target, ElementNode)
+
+    # Roots must be resolved *before* applying: a deletion detaches its
+    # target, and the tree it was removed from is the one to re-encode.
+    mutated_roots: dict[int, Node] = {}
     for primitive in pul.primitives:
-        root = primitive.target.root()
-        if hasattr(root, "_xq_value_indexes"):
-            delattr(root, "_xq_value_indexes")
+        if is_structural(primitive):
+            root = primitive.target.root()
+            mutated_roots[id(root)] = root
     deletions = [p for p in pul.primitives if isinstance(p, DeleteNode)]
     for primitive in pul.primitives:
         if not isinstance(primitive, DeleteNode):
             primitive.apply()
+        if not is_structural(primitive):
+            invalidate_structural_index(primitive.target)
     for primitive in deletions:
         primitive.apply()
+    for root in mutated_roots.values():
+        reencode_tree(root)
