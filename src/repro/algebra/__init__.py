@@ -17,8 +17,13 @@ table     literal table
 
 plus the two Pathfinder helpers every real plan needs: ``attach``
 (constant column) and ``fun`` (row-wise computed column).
+
+:mod:`repro.algebra.paths` adds the XPath-accelerator axis-step
+operator: path steps over ``iter|pos|item`` node tables evaluate as
+staircase-pruned window scans over the structural index columns.
 """
 
 from repro.algebra.table import Table
+from repro.algebra.paths import LIFTED_AXES, axis_step
 
-__all__ = ["Table"]
+__all__ = ["Table", "LIFTED_AXES", "axis_step"]

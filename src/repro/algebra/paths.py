@@ -1,0 +1,143 @@
+"""Axis-step operators over ``iter|pos|item`` node tables.
+
+This is the relational pushdown the ROADMAP asks for: a path step in a
+loop-lifted plan evaluates as window predicates over the per-tree
+:class:`~repro.xdm.structural.StructuralIndex` columns (descendant:
+``pre in (pre, pre+size]``; child: descendant ∧ ``level = level+1``,
+realised as the size-skipping scan; attribute via the separate attribute
+table; name tests via the tag partition) instead of per-node tree walks.
+
+The staircase-join core itself lives in
+:func:`repro.xdm.structural.axis_window_scan` — one implementation
+shared with the interpreter's accelerated axis evaluation — so the
+output of every step is duplicate-free and document-ordered *by
+construction*; the operator only re-derives the dense ``pos`` column
+per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.algebra.table import Table
+from repro.xdm.nodes import AttributeNode, Node
+from repro.xdm.structural import (
+    BATCHED_AXES,
+    axis_scan_batched,
+    axis_window_scan,
+    split_context,
+    structural_index,
+    tree_groups,
+)
+
+#: Axes the algebra layer evaluates as window scans.  The remaining
+#: axes (ancestor, following, preceding, siblings, parent) stay with the
+#: interpreter until they are loop-lifted.
+LIFTED_AXES = frozenset(
+    ("self", "child", "descendant", "descendant-or-self", "attribute"))
+
+
+def axis_step(table: Table, axis: str, matches: Callable[[Node], bool],
+              local_name: Optional[str] = None,
+              match_all: bool = False) -> Table:
+    """Map an ``iter|pos|item`` node table through one axis step.
+
+    Every iteration's context sequence becomes a staircase-pruned window
+    scan over its trees' pre/size/level columns; the result rows carry a
+    fresh dense ``pos`` per iteration and are emitted in iteration order.
+
+    Parameters
+    ----------
+    table:
+        ``iter|pos|item`` relation whose items are all nodes.
+    axis:
+        One of :data:`LIFTED_AXES`.
+    matches:
+        Node-test predicate for candidates (see
+        :func:`repro.xquery.evaluator.node_test_matches`).
+    local_name:
+        Non-wildcard element name test — scans the tag partition.
+    match_all:
+        The test is ``node()``; skip per-candidate filtering.
+
+    Raises
+    ------
+    ValueError:
+        Unsupported axis, or a non-node item in the context (callers
+        translate this into their fallback signal).
+    """
+    if axis not in LIFTED_AXES:
+        raise ValueError(f"axis {axis} is not lifted")
+    iter_index = table.col("iter")
+    item_index = table.col("item")
+    # Group rows by iteration, preserving the table's (typically already
+    # iter-sorted) order; only pay a sort when input arrives shuffled.
+    by_iter: dict = {}
+    ascending = True
+    previous = None
+    for row in table.rows:
+        it = row[iter_index]
+        item = row[item_index]
+        if not isinstance(item, Node):
+            raise ValueError("path step over a non-node item")
+        members = by_iter.get(it)
+        if members is None:
+            by_iter[it] = [item]
+            if previous is not None and it < previous:
+                ascending = False
+            previous = it
+        else:
+            members.append(item)
+    iters = list(by_iter) if ascending else sorted(by_iter)
+    rows: list[tuple] = []
+    # Batch accumulator: consecutive iterations whose context is a
+    # single tree node of the same tree — the shape every for-lifted
+    # step produces — scan in ONE set-at-a-time pass instead of paying
+    # per-iteration grouping/pruning/dispatch overhead.
+    batchable = axis in BATCHED_AXES
+    pending: list[tuple] = []
+    pending_index = None
+
+    def flush() -> None:
+        nonlocal pending_index
+        if not pending:
+            return
+        scanned = axis_scan_batched(pending_index, axis, pending,
+                                    matches=matches, local_name=local_name,
+                                    match_all=match_all)
+        last = None
+        pos = 0
+        for tag, node in scanned:
+            if tag != last:
+                last = tag
+                pos = 0
+            pos += 1
+            rows.append((tag, pos, node))
+        pending.clear()
+        pending_index = None
+
+    for it in iters:
+        members = by_iter[it]
+        if batchable and len(members) == 1 \
+                and not isinstance(members[0], AttributeNode):
+            node = members[0]
+            index = structural_index(node.root())
+            if pending_index is not None and index is not pending_index:
+                flush()
+            pending_index = index
+            pending.append((it, index.pre_of[id(node)]))
+            continue
+        flush()
+        # General path: multi-node (or attribute) contexts go through
+        # tree grouping, context splitting and staircase pruning.
+        results: list[Node] = []
+        for root, group in tree_groups(members):
+            index = structural_index(root)
+            ctx_pres, attr_members = split_context(index, group)
+            results.extend(axis_window_scan(
+                index, axis, ctx_pres, attr_members, matches=matches,
+                local_name=local_name, match_all=match_all))
+        for pos, node in enumerate(results, start=1):
+            rows.append((it, pos, node))
+    flush()
+    return Table(("iter", "pos", "item"), rows)

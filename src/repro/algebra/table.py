@@ -14,6 +14,8 @@ from repro.xdm.atomic import AtomicValue
 
 def _cell_key(value: Any) -> Any:
     """Hashable ordering/grouping key for a cell."""
+    if type(value) is int:  # iter/pos columns dominate; skip the checks
+        return value
     if isinstance(value, AtomicValue):
         if value.is_numeric:
             return ("num", float(value.value))

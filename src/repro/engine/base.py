@@ -48,6 +48,11 @@ class Engine:
         self._function_cache: set[tuple[str, str, int]] = set()
         # Wall-clock phase timers of the most recent compile (Table 3).
         self.last_compile_seconds = 0.0
+        # Telemetry of the most recent execute_lifted call: which plan
+        # ran ("lifted" | "interpreter") and, on fallback, the uniform
+        # UnsupportedExpression message naming the offending AST node.
+        self.last_plan: Optional[str] = None
+        self.last_fallback_reason: Optional[str] = None
 
     def compile(self, source: str) -> CompiledQuery:
         if self.plan_cache_enabled and source in self._plan_cache:
@@ -59,6 +64,59 @@ class Engine:
         if self.plan_cache_enabled:
             self._plan_cache[source] = compiled
         return compiled
+
+    # -- loop-lifted execution with interpreter fallback --------------------
+
+    def execute_lifted(self, source: str, doc_resolver=None,
+                       variables: Optional[dict] = None,
+                       context_item=None, dispatch=None,
+                       xrpc_handler=None) -> list:
+        """Run a query through the Pathfinder loop-lifting pipeline,
+        falling back to the tree interpreter when it is outside the
+        lifted core.
+
+        This is the fallback plumbing the relational pushdown needs:
+        the attempt and its outcome are recorded in ``last_plan`` and
+        ``last_fallback_reason`` (the ``UnsupportedExpression`` message,
+        which uniformly names the offending AST node type), so callers
+        and tests can assert *why* a query wasn't lifted.  The compiled
+        query comes from the shared plan cache, and the lifted pipeline
+        statically preflights the AST, so statically-unsupported queries
+        fall back before any ``execute at`` ships; a *dynamic* bail
+        (runtime positional predicate, non-node path item) can still
+        occur mid-plan, so route queries with updating remote calls to
+        the interpreter directly if that matters.
+
+        ``dispatch`` serves the lifted plan's Bulk RPC shipping;
+        ``xrpc_handler`` serves ``execute at`` on the interpreter
+        fallback (the two layers' contracts differ, see
+        :class:`~repro.xquery.context.RemoteCall`).
+        """
+        from repro.pathfinder import LoopLiftedQuery, UnsupportedExpression
+
+        self.last_plan = None
+        self.last_fallback_reason = None
+        compiled = self.compile(source)
+        try:
+            query = LoopLiftedQuery(source, dispatch=dispatch,
+                                    doc_resolver=doc_resolver,
+                                    compiled=compiled)
+            result = query.run(variables=variables,
+                               context_item=context_item)
+            self.last_plan = "lifted"
+            return result
+        except UnsupportedExpression as unsupported:
+            self.last_plan = "interpreter"
+            self.last_fallback_reason = str(unsupported)
+        result, pul = compiled.execute(
+            doc_resolver=doc_resolver, variables=variables,
+            context_item=context_item, xrpc_handler=xrpc_handler,
+            optimize_joins=self.optimize_flwor_joins,
+            accelerator=self.accelerator)
+        if pul:
+            from repro.xquf.pul import apply_updates
+            apply_updates(pul)
+        return result
 
     # -- function cache (server-side plan cache per remote function) -------
 

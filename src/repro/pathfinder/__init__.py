@@ -7,6 +7,13 @@ per-peer request table via the map-table construction, ship **one Bulk
 RPC per peer** (dispatched in parallel), and merge-union the mapped-back
 results to restore iteration order.
 
+Path expressions over the downward axes compile to relational axis-step
+operators (:mod:`repro.algebra.paths`) — window predicates over the
+structural index's pre/size/level columns — so queries mixing ``execute
+at`` with path steps no longer fall back wholesale to the interpreter.
+:meth:`repro.engine.base.Engine.execute_lifted` provides the
+fallback-with-telemetry entry point.
+
 This module is the faithful, table-level realization of the paper's
 technique; the production query path of :class:`~repro.rpc.XRPCPeer`
 uses an operationally-equivalent batching executor that supports the

@@ -7,31 +7,59 @@ representable (absence of rows).
 
 Supported core: literals, sequence construction, ranges, variables,
 FLWOR (for/let/where), arithmetic, comparisons, a few row-wise builtins
-(``concat``, ``string``), and ``execute at`` — compiled by the Figure 2
+(``concat``, ``string``, ``doc``), path expressions over the lifted axes
+(self, child, descendant, descendant-or-self, attribute — evaluated as
+window predicates over the :class:`~repro.xdm.structural.StructuralIndex`
+pre/size/level columns, see :mod:`repro.algebra.paths`), simple
+non-positional predicates, and ``execute at`` — compiled by the Figure 2
 rule.  Anything else raises :class:`UnsupportedExpression`, signalling
 the caller to fall back to the interpreter (MonetDB similarly falls back
-to non-loop-lifted paths for exotic constructs).
+to non-loop-lifted paths for exotic constructs).  Every
+:class:`UnsupportedExpression` message starts with the offending AST
+node's type name (``"PathExpr: axis ancestor is not lifted"``), so
+fallback telemetry can record *why* a query wasn't lifted.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.algebra.paths import LIFTED_AXES, axis_step
 from repro.algebra.table import Table
 from repro.errors import XRPCReproError
 from repro.xdm.atomic import AtomicValue, general_compare_pair, integer, string
-from repro.xdm.sequence import atomize
+from repro.xdm.nodes import Node
+from repro.xdm.sequence import atomize, effective_boolean_value
 from repro.xquery import xast as A
 from repro.xquery.context import StaticContext
-from repro.xquery.evaluator import CompiledQuery, _arith
+from repro.xquery.evaluator import (
+    CompiledQuery,
+    _arith,
+    _fuse_descendant_steps,
+    node_test_matches,
+)
 
 # dispatch(destination, module_uri, location, function, arity,
 #          calls, updating) -> list of result sequences, one per call
 Dispatch = Callable[..., list]
 
+# doc_resolver(uri) -> DocumentNode | None (same contract the
+# interpreter's DynamicContext uses).
+DocResolver = Callable[[str], Optional[Node]]
+
+# Reserved environment key binding the context item ("."): not a valid
+# variable name, so it can never clash with a user binding.  The context
+# item lifts through for-clauses exactly like a variable table.
+_DOT = "."
+
 
 class UnsupportedExpression(XRPCReproError):
     """The expression is outside the loop-liftable core."""
+
+
+def _unsupported(node: object, reason: str) -> UnsupportedExpression:
+    """Uniform fallback signal: ``<NodeType>: <reason>``."""
+    return UnsupportedExpression(f"{type(node).__name__}: {reason}")
 
 
 class LoopLiftingCompiler:
@@ -48,17 +76,105 @@ class LoopLiftingCompiler:
         Record the per-peer intermediate tables (map/req/msg/res) of
         every ``execute at`` translation — lets tests and the Figure 1
         benchmark inspect the exact tables of the paper.
+    doc_resolver:
+        Resolves ``fn:doc`` URIs to document nodes, enabling path roots
+        over stored documents.  Without one, ``fn:doc`` falls back.
     """
 
     def __init__(self, static: StaticContext,
                  dispatch: Optional[Dispatch] = None,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 doc_resolver: Optional[DocResolver] = None) -> None:
         self.static = static
         self.dispatch = dispatch
         self.trace_enabled = trace
         self.trace: list[dict] = []
+        self.doc_resolver = doc_resolver
+        self._documents: dict[str, Node] = {}
 
     # ------------------------------------------------------------------
+
+    def preflight(self, expr: A.Expr) -> None:
+        """Static liftability check, mirroring :meth:`compile_expr`.
+
+        Compilation in this pipeline *is* evaluation, so a mid-plan
+        :class:`UnsupportedExpression` could fire after an ``execute
+        at`` already shipped — and the interpreter fallback would ship
+        it again.  Walking the AST first makes every statically
+        detectable fallback happen before any side effect.  (Dynamic
+        bails — runtime positional predicate values, non-node path
+        items, unresolvable documents — can still surface later.)
+        """
+        if isinstance(expr, (A.Literal, A.VarRef, A.ContextItem)):
+            return
+        if isinstance(expr, A.SequenceExpr):
+            for item in expr.items:
+                self.preflight(item)
+            return
+        if isinstance(expr, A.RangeExpr):
+            self.preflight(expr.start)
+            self.preflight(expr.end)
+            return
+        if isinstance(expr, A.FLWOR):
+            for clause in expr.clauses:
+                if isinstance(clause, A.LetClause):
+                    self.preflight(clause.value)
+                elif isinstance(clause, A.ForClause):
+                    self.preflight(clause.source)
+                elif isinstance(clause, A.WhereClause):
+                    self.preflight(clause.condition)
+                else:
+                    raise _unsupported(clause, "outside the loop-lifted core")
+            self.preflight(expr.return_expr)
+            return
+        if isinstance(expr, A.ExecuteAt):
+            if self.dispatch is None:
+                raise _unsupported(
+                    expr, "execute at requires a dispatch function")
+            self.preflight(expr.destination)
+            for arg in expr.call.args:
+                self.preflight(arg)
+            return
+        if isinstance(expr, A.Arithmetic):
+            self.preflight(expr.left)
+            self.preflight(expr.right)
+            return
+        if isinstance(expr, A.Comparison):
+            if expr.kind != "general":
+                raise _unsupported(expr, "only general comparisons are lifted")
+            self.preflight(expr.left)
+            self.preflight(expr.right)
+            return
+        if isinstance(expr, A.FunctionCall):
+            local = expr.name.split(":")[-1]
+            if local == "doc" and len(expr.args) == 1:
+                if self.doc_resolver is None:
+                    raise _unsupported(
+                        expr, "fn:doc requires a document resolver")
+            elif local not in self._ROWWISE_STRING:
+                raise _unsupported(
+                    expr,
+                    f"function {expr.name} is outside the loop-lifted core")
+            for arg in expr.args:
+                self.preflight(arg)
+            return
+        if isinstance(expr, A.PathExpr):
+            if expr.start is not None:
+                self.preflight(expr.start)
+            for step in _fuse_descendant_steps(list(expr.steps)):
+                if not isinstance(step, A.AxisStep):
+                    raise _unsupported(
+                        expr, f"step {type(step).__name__} is not lifted")
+                if step.axis not in LIFTED_AXES:
+                    raise _unsupported(
+                        expr, f"axis {step.axis} is not lifted")
+                for predicate in step.predicates:
+                    if isinstance(predicate, A.Literal):
+                        raise _unsupported(
+                            expr, "positional predicates are not lifted")
+                    self.preflight(predicate)
+            return
+        raise _unsupported(expr, "outside the loop-lifted core")
 
     def compile_expr(self, expr: A.Expr, loop: Table,
                      env: dict[str, Table]) -> Table:
@@ -70,8 +186,13 @@ class LoopLiftingCompiler:
                 [(it, 1, expr.value) for (it,) in loop.rows])
         if isinstance(expr, A.VarRef):
             if expr.name not in env:
-                raise UnsupportedExpression(f"unbound variable ${expr.name}")
+                raise _unsupported(expr, f"unbound variable ${expr.name}")
             return env[expr.name]
+        if isinstance(expr, A.ContextItem):
+            dot = env.get(_DOT)
+            if dot is None:
+                raise _unsupported(expr, "no context item in scope")
+            return dot
         if isinstance(expr, A.SequenceExpr):
             return self._compile_sequence(expr, loop, env)
         if isinstance(expr, A.RangeExpr):
@@ -86,8 +207,9 @@ class LoopLiftingCompiler:
             return self._compile_comparison(expr, loop, env)
         if isinstance(expr, A.FunctionCall):
             return self._compile_function_call(expr, loop, env)
-        raise UnsupportedExpression(
-            f"{type(expr).__name__} is outside the loop-lifted core")
+        if isinstance(expr, A.PathExpr):
+            return self._compile_path(expr, loop, env)
+        raise _unsupported(expr, "outside the loop-lifted core")
 
     # -- simple expressions -------------------------------------------------
 
@@ -108,9 +230,9 @@ class LoopLiftingCompiler:
     def _compile_range(self, expr: A.RangeExpr, loop: Table,
                        env: dict[str, Table]) -> Table:
         start = self._singleton_per_iter(
-            self.compile_expr(expr.start, loop, env), "range start")
+            self.compile_expr(expr.start, loop, env), "RangeExpr: range start")
         end = self._singleton_per_iter(
-            self.compile_expr(expr.end, loop, env), "range end")
+            self.compile_expr(expr.end, loop, env), "RangeExpr: range end")
         rows = []
         for (it,) in loop.rows:
             if it not in start or it not in end:
@@ -125,7 +247,8 @@ class LoopLiftingCompiler:
         values: dict = {}
         for it, pos, item in table.rows:
             if it in values:
-                raise UnsupportedExpression(f"{who}: more than one item per iteration")
+                raise UnsupportedExpression(
+                    f"{who} has more than one item per iteration")
             values[it] = item
         return values
 
@@ -145,8 +268,7 @@ class LoopLiftingCompiler:
             elif isinstance(clause, A.WhereClause):
                 loop, env = self._apply_where(clause, loop, env)
             else:
-                raise UnsupportedExpression(
-                    "order by is outside the loop-lifted core")
+                raise _unsupported(clause, "outside the loop-lifted core")
         result = self.compile_expr(expr.return_expr, loop, env)
         # Unwind nesting: map inner iterations back to outer ones.
         for mapping in reversed(maps):
@@ -202,9 +324,9 @@ class LoopLiftingCompiler:
     def _compile_arith(self, expr: A.Arithmetic, loop: Table,
                        env: dict[str, Table]) -> Table:
         left = self._singleton_per_iter(
-            self.compile_expr(expr.left, loop, env), "arithmetic")
+            self.compile_expr(expr.left, loop, env), "Arithmetic: operand")
         right = self._singleton_per_iter(
-            self.compile_expr(expr.right, loop, env), "arithmetic")
+            self.compile_expr(expr.right, loop, env), "Arithmetic: operand")
         rows = []
         for (it,) in loop.rows:
             if it in left and it in right:
@@ -216,7 +338,7 @@ class LoopLiftingCompiler:
     def _compile_comparison(self, expr: A.Comparison, loop: Table,
                             env: dict[str, Table]) -> Table:
         if expr.kind != "general":
-            raise UnsupportedExpression("only general comparisons are lifted")
+            raise _unsupported(expr, "only general comparisons are lifted")
         left = self.compile_expr(expr.left, loop, env)
         right = self.compile_expr(expr.right, loop, env)
         op = {"=": "eq", "!=": "ne", "<": "lt",
@@ -247,13 +369,16 @@ class LoopLiftingCompiler:
     def _compile_function_call(self, expr: A.FunctionCall, loop: Table,
                                env: dict[str, Table]) -> Table:
         local = expr.name.split(":")[-1]
+        if local == "doc" and len(expr.args) == 1:
+            return self._compile_doc(expr, loop, env)
         func = self._ROWWISE_STRING.get(local)
         if func is None:
-            raise UnsupportedExpression(
-                f"function {expr.name} is outside the loop-lifted core")
+            raise _unsupported(
+                expr, f"function {expr.name} is outside the loop-lifted core")
         param_maps = [
             self._singleton_per_iter(
-                self.compile_expr(arg, loop, env), expr.name)
+                self.compile_expr(arg, loop, env),
+                f"FunctionCall: {expr.name} argument")
             for arg in expr.args
         ]
         rows = []
@@ -269,13 +394,145 @@ class LoopLiftingCompiler:
                 rows.append((it, 1, string(func(*parts))))
         return Table(("iter", "pos", "item"), rows)
 
+    def _compile_doc(self, expr: A.FunctionCall, loop: Table,
+                     env: dict[str, Table]) -> Table:
+        """``fn:doc`` — the absolute path root over stored documents."""
+        if self.doc_resolver is None:
+            raise _unsupported(expr, "fn:doc requires a document resolver")
+        uris = self._singleton_per_iter(
+            self.compile_expr(expr.args[0], loop, env),
+            "FunctionCall: fn:doc uri")
+        rows = []
+        for (it,) in loop.rows:
+            if it not in uris:
+                raise _unsupported(expr, "fn:doc with an empty uri")
+            uri = atomize([uris[it]])[0].string_value()
+            document = self._documents.get(uri)
+            if document is None:
+                document = self.doc_resolver(uri)
+                if document is None:
+                    raise _unsupported(expr, f"document {uri!r} not found")
+                self._documents[uri] = document
+            rows.append((it, 1, document))
+        return Table(("iter", "pos", "item"), rows)
+
+    # -- path expressions: the relational pushdown ----------------------------
+    #
+    # An axis step over an iter|pos|item node table is one algebra
+    # operator (repro.algebra.paths.axis_step): per iteration, the
+    # context nodes become staircase-pruned window scans over the
+    # structural index's pre/size/level columns, so every step's output
+    # is duplicate-free and document-ordered by construction — the
+    # set-at-a-time evaluation the interpreter's accelerator performs,
+    # reused at the algebra layer.
+
+    def _compile_path(self, expr: A.PathExpr, loop: Table,
+                      env: dict[str, Table]) -> Table:
+        steps: list = list(expr.steps)
+        if expr.absolute != "none":
+            dot = env.get(_DOT)
+            if dot is None:
+                raise _unsupported(expr, "absolute path without a context item")
+            rows = []
+            for it, pos, item in dot.rows:
+                if not isinstance(item, Node):
+                    raise _unsupported(
+                        expr, "absolute path over a non-node context item")
+                rows.append((it, 1, item.root()))
+            current = Table(("iter", "pos", "item"), rows)
+            if expr.absolute == "root-descendant":
+                steps.insert(0, A.AxisStep("descendant-or-self",
+                                           A.KindTest("node")))
+        elif expr.start is None:
+            dot = env.get(_DOT)
+            if dot is None:
+                raise _unsupported(expr, "relative path without a context item")
+            current = dot
+        else:
+            current = self.compile_expr(expr.start, loop, env)
+        for step in _fuse_descendant_steps(steps):
+            if not isinstance(step, A.AxisStep):
+                raise _unsupported(
+                    expr, f"step {type(step).__name__} is not lifted")
+            current = self._compile_axis_step(expr, step, current, env)
+        return current
+
+    def _compile_axis_step(self, expr: A.PathExpr, step: A.AxisStep,
+                           current: Table, env: dict[str, Table]) -> Table:
+        axis = step.axis
+        if axis not in LIFTED_AXES:
+            raise _unsupported(expr, f"axis {axis} is not lifted")
+        test = step.node_test
+        local = None
+        if isinstance(test, A.NameTest) and test.local != "*":
+            local = test.local
+        match_all = isinstance(test, A.KindTest) and test.kind == "node"
+        try:
+            result = axis_step(
+                current, axis,
+                matches=lambda node: node_test_matches(
+                    node, test, axis, self.static),
+                local_name=local, match_all=match_all)
+        except ValueError as error:
+            raise _unsupported(expr, str(error))
+        if step.predicates:
+            result = self._apply_step_predicates(expr, result,
+                                                 step.predicates, env)
+        return result
+
+    def _apply_step_predicates(self, expr: A.PathExpr, table: Table,
+                               predicates: list, env: dict[str, Table]) -> Table:
+        """Filter step candidates by simple (non-positional) predicates.
+
+        Every candidate row becomes one inner iteration — the same map
+        construction as a for-clause — with the candidate bound as the
+        context item; the predicate compiles under that inner loop and
+        filters by effective boolean value.  Positional predicates
+        (numeric values) are not lifted: their semantics depend on the
+        per-context candidate numbering the set-at-a-time step folds
+        away, so they signal interpreter fallback.
+        """
+        for predicate in predicates:
+            if isinstance(predicate, A.Literal):
+                raise _unsupported(expr, "positional predicates are not lifted")
+            numbered = table.rownum("inner", order_by=("iter", "pos"))
+            mapping = numbered.project("outer:iter", "inner")
+            inner_loop = mapping.project("iter:inner")
+            lifted_env: dict[str, Table] = {}
+            for name, bound in env.items():
+                joined = bound.join(mapping, "iter", "outer")
+                lifted_env[name] = joined.project("iter:inner", "pos", "item") \
+                                         .sort("iter", "pos")
+            lifted_env[_DOT] = numbered.project("iter:inner", "item") \
+                .attach("pos", 1).project("iter", "pos", "item")
+            condition = self.compile_expr(predicate, inner_loop, lifted_env)
+            by_inner: dict = {}
+            for it, pos, item in condition.rows:
+                by_inner.setdefault(it, []).append(item)
+            keep: set = set()
+            for (it,) in inner_loop.rows:
+                items = by_inner.get(it, [])
+                if len(items) == 1 and isinstance(items[0], AtomicValue) \
+                        and items[0].is_numeric:
+                    raise _unsupported(
+                        expr, "positional predicates are not lifted")
+                if effective_boolean_value(items):
+                    keep.add(it)
+            inner_index = numbered.col("inner")
+            kept = Table(numbered.columns,
+                         [row for row in numbered.rows
+                          if row[inner_index] in keep])
+            table = kept.rownum("newpos", order_by=("pos",),
+                                partition_by="iter") \
+                        .project("iter", "pos:newpos", "item")
+        return table
+
     # -- execute at: the Figure 2 rule ----------------------------------------
 
     def _compile_execute_at(self, expr: A.ExecuteAt, loop: Table,
                             env: dict[str, Table]) -> Table:
         if self.dispatch is None:
-            raise UnsupportedExpression(
-                "execute at requires a dispatch function")
+            raise _unsupported(expr, "execute at requires a dispatch function")
         dst = self.compile_expr(expr.destination, loop, env)
         params = [self.compile_expr(arg, loop, env) for arg in expr.call.args]
 
@@ -363,16 +620,21 @@ class LoopLiftedQuery:
 
     def __init__(self, source: str, registry=None,
                  dispatch: Optional[Dispatch] = None,
-                 trace: bool = False) -> None:
-        self.compiled = CompiledQuery(source, registry)
+                 trace: bool = False,
+                 doc_resolver: Optional[DocResolver] = None,
+                 compiled: Optional[CompiledQuery] = None) -> None:
+        self.compiled = compiled if compiled is not None \
+            else CompiledQuery(source, registry)
         self.compiler = LoopLiftingCompiler(
-            self.compiled.static, dispatch, trace=trace)
+            self.compiled.static, dispatch, trace=trace,
+            doc_resolver=doc_resolver)
 
     @property
     def trace(self) -> list[dict]:
         return self.compiler.trace
 
-    def run(self, variables: Optional[dict[str, list]] = None) -> list:
+    def run(self, variables: Optional[dict[str, list]] = None,
+            context_item=None) -> list:
         """Execute; returns the XDM result sequence of iteration 1."""
         loop = Table(("iter",), [(1,)])
         env: dict[str, Table] = {}
@@ -380,7 +642,13 @@ class LoopLiftedQuery:
             env[name] = Table(
                 ("iter", "pos", "item"),
                 [(1, pos, item) for pos, item in enumerate(sequence, 1)])
+        if context_item is not None:
+            env[_DOT] = Table(("iter", "pos", "item"), [(1, 1, context_item)])
         body = self.compiled.ast.body
         assert body is not None
+        # Reject statically-unsupported queries before evaluation — in
+        # this compile-is-evaluate pipeline that is what keeps fallback
+        # from re-shipping already-dispatched execute-at calls.
+        self.compiler.preflight(body)
         table = self.compiler.compile_expr(body, loop, env)
         return [item for it, pos, item in table.sort("iter", "pos").rows]

@@ -279,10 +279,11 @@ class DocumentNode(Node):
         self._invalidate_index()
 
     def string_value(self) -> str:
-        return "".join(
-            child.string_value() for child in self._children
-            if isinstance(child, (ElementNode, TextNode))
-        )
+        # Concatenated descendant text, via the iterative walk — nested
+        # generator recursion overflowed on deep trees (atomization is
+        # on the XRPC marshal hot path).
+        return "".join(node.content for node in self.descendants()
+                       if isinstance(node, TextNode))
 
     @property
     def root_element(self) -> Optional["ElementNode"]:
@@ -299,6 +300,10 @@ class ElementNode(Node):
                  ns_uri: Optional[str] = None) -> None:
         super().__init__(order_key)
         self.name = name            # lexical QName as written, e.g. "xrpc:call"
+        # Cached local part: name tests probe it per candidate node, so
+        # splitting the QName on every access is a measurable axis-step
+        # cost.  Renames must go through :meth:`rename`.
+        self._local_name = name.split(":")[-1] if ":" in name else name
         self.ns_uri = ns_uri        # resolved namespace URI or None
         self._attributes: list[AttributeNode] = []
         self._children: list[Node] = []
@@ -307,7 +312,14 @@ class ElementNode(Node):
 
     @property
     def local_name(self) -> str:
-        return self.name.split(":")[-1]
+        return self._local_name
+
+    def rename(self, name: str) -> None:
+        """Change the lexical QName (XQUF ``rename node``), keeping the
+        cached local part coherent."""
+        self.name = name
+        self._local_name = name.split(":")[-1] if ":" in name else name
+        self._invalidate_index()
 
     @property
     def node_name(self) -> Optional[str]:
@@ -342,10 +354,9 @@ class ElementNode(Node):
         return None
 
     def string_value(self) -> str:
-        return "".join(
-            child.string_value() for child in self._children
-            if isinstance(child, (ElementNode, TextNode))
-        )
+        # Iterative for the same reason as DocumentNode.string_value.
+        return "".join(node.content for node in self.descendants()
+                       if isinstance(node, TextNode))
 
     def find(self, local_name: str, ns_uri: Optional[str] = None) -> Optional["ElementNode"]:
         """First child element with the given local name (+ namespace)."""
@@ -373,12 +384,20 @@ class AttributeNode(Node):
                  ns_uri: Optional[str] = None) -> None:
         super().__init__(order_key)
         self.name = name
+        self._local_name = name.split(":")[-1] if ":" in name else name
         self.value = value
         self.ns_uri = ns_uri
 
     @property
     def local_name(self) -> str:
-        return self.name.split(":")[-1]
+        return self._local_name
+
+    def rename(self, name: str) -> None:
+        """Change the lexical QName (XQUF ``rename node``), keeping the
+        cached local part coherent."""
+        self.name = name
+        self._local_name = name.split(":")[-1] if ":" in name else name
+        self._invalidate_index()
 
     @property
     def node_name(self) -> Optional[str]:
@@ -442,13 +461,11 @@ def copy_into(node: Node, factory: NodeFactory) -> Node:
     return _copy_into(node, factory)
 
 
-def _copy_into(node: Node, factory: NodeFactory, level: int = 0) -> Node:
+def _copy_one(node: Node, factory: NodeFactory, level: int) -> Node:
+    """Shallow-copy one node (attributes included — they precede the
+    children in factory serial order, exactly like the parsers)."""
     if isinstance(node, DocumentNode):
-        copy = factory.document(node.uri, level=level)
-        for child in node.children:
-            copy.append(_copy_into(child, factory, level + 1))
-        copy.size = factory.issued - copy.order_key[1] - 1
-        return copy
+        return factory.document(node.uri, level=level)
     if isinstance(node, ElementNode):
         copy = factory.element(node.name, node.ns_uri, level=level)
         copy.namespace_declarations = dict(node.namespace_declarations)
@@ -456,9 +473,6 @@ def _copy_into(node: Node, factory: NodeFactory, level: int = 0) -> Node:
             copy.set_attribute(
                 factory.attribute(attribute.name, attribute.value,
                                   attribute.ns_uri, level=level + 1))
-        for child in node.children:
-            copy.append(_copy_into(child, factory, level + 1))
-        copy.size = factory.issued - copy.order_key[1] - 1
         return copy
     if isinstance(node, AttributeNode):
         return factory.attribute(node.name, node.value, node.ns_uri,
@@ -471,3 +485,36 @@ def _copy_into(node: Node, factory: NodeFactory, level: int = 0) -> Node:
         return factory.processing_instruction(node.target, node.content,
                                               level=level)
     raise TypeError(f"cannot copy node kind {node.kind}")
+
+
+def _copy_into(node: Node, factory: NodeFactory, level: int = 0) -> Node:
+    """Iterative deep copy: an explicit work stack replaces the call
+    stack (deep trees — XRPC call-by-value payloads routinely nest
+    thousands of levels — must not hit the interpreter recursion limit).
+
+    Serials are issued in document order by pre-order traversal, and a
+    close marker stamps each container's ``size`` from the factory's
+    serial counter once its subtree is complete — the same single-pass
+    pre/size/level stamping the recursive version performed.
+    """
+    result: Optional[Node] = None
+    # Work items: (source, parent_copy, level) visits, (None, copy, 0)
+    # closes a container and stamps its subtree size.
+    stack: list[tuple] = [(node, None, level)]
+    while stack:
+        source, parent_copy, depth = stack.pop()
+        if source is None:
+            copy = parent_copy
+            copy.size = factory.issued - copy.order_key[1] - 1
+            continue
+        copy = _copy_one(source, factory, depth)
+        if result is None:
+            result = copy
+        if parent_copy is not None:
+            parent_copy.append(copy)
+        if isinstance(source, (DocumentNode, ElementNode)):
+            stack.append((None, copy, 0))
+            for child in reversed(source.children):
+                stack.append((child, copy, depth + 1))
+    assert result is not None
+    return result

@@ -26,9 +26,9 @@ flip the referenced index's ``stale`` bit when such a stamp is present.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
-from repro.xdm.nodes import ElementNode, Node, _next_doc_id
+from repro.xdm.nodes import AttributeNode, ElementNode, Node, _next_doc_id
 
 
 class StructuralIndex:
@@ -222,6 +222,260 @@ def staircase_prune(sorted_pres: list[int], sizes: list[int]) -> list[int]:
         if end > covered:
             covered = end
     return pruned
+
+
+def split_context(index: StructuralIndex,
+                  members: list) -> tuple[list[int], list[Node]]:
+    """Split a context sequence into pre-ranked tree nodes and attributes.
+
+    The accelerator keeps attributes out of the pre array (MonetDB's
+    separate attribute table), so window scans take sorted unique context
+    pres plus the attribute members to route through their owners.
+    """
+    pre_of = index.pre_of
+    pres_seen: set[int] = set()
+    ctx_pres: list[int] = []
+    attr_seen: set[int] = set()
+    attr_members: list[Node] = []
+    for node in members:
+        if isinstance(node, AttributeNode):
+            if id(node) not in attr_seen:
+                attr_seen.add(id(node))
+                attr_members.append(node)
+        else:
+            pre = pre_of[id(node)]
+            if pre not in pres_seen:
+                pres_seen.add(pre)
+                ctx_pres.append(pre)
+    ctx_pres.sort()
+    return ctx_pres, attr_members
+
+
+def axis_window_scan(index: StructuralIndex, axis: str,
+                     ctx_pres: list[int], attr_members: list[Node],
+                     matches: Callable[[Node], bool],
+                     local_name: Optional[str] = None,
+                     match_all: bool = False) -> list[Node]:
+    """Whole-context axis step as window scans over one tree's columns.
+
+    This is the set-at-a-time staircase-join core shared by the
+    interpreter's accelerated axis evaluation and the algebra layer's
+    axis-step operator: ``descendant`` is ``pre in (pre, pre+size]``,
+    ``child`` additionally skips over subtrees, ``following`` is
+    ``pre > pre+size``, ``ancestor`` walks parent chains with staircase
+    early exit.  Covered context nodes are pruned before scanning, so
+    results are duplicate-free and document-ordered *by construction*.
+
+    Parameters
+    ----------
+    matches:
+        Node-test predicate applied to candidates.
+    local_name:
+        Tag partition to scan instead of the full pre range (a
+        non-wildcard element name test).
+    match_all:
+        The test is ``node()`` — skip per-candidate filtering.
+    """
+    nodes = index.nodes
+    sizes = index.sizes
+    pre_of = index.pre_of
+
+    if axis == "attribute":
+        out_attrs: list[Node] = []
+        for p in ctx_pres:
+            for attribute in nodes[p].attributes:
+                if matches(attribute):
+                    out_attrs.append(attribute)
+        return out_attrs
+
+    # Attribute context nodes: upward/order axes go through the owner
+    # element; self-including axes contribute the attribute itself.
+    owner_pres = [pre_of[id(a.parent)] for a in attr_members
+                  if a.parent is not None]
+    extra: list[Node] = []
+    if axis in ("self", "descendant-or-self", "ancestor-or-self"):
+        extra = [a for a in attr_members if matches(a)]
+
+    out_pres: list[int] = []
+    if axis == "self":
+        out_pres = ctx_pres
+    elif axis in ("descendant", "descendant-or-self"):
+        for p in staircase_prune(ctx_pres, sizes):
+            if axis == "descendant-or-self":
+                out_pres.append(p)  # non-matching selves filtered below
+            out_pres.extend(index.window(p, p + sizes[p], local_name))
+    elif axis == "child":
+        gathered: list[int] = []
+        if local_name is not None:
+            # child = descendant ∧ level = level+1: scan the tag
+            # partition inside the subtree window and keep the rows one
+            # level down — far fewer candidates than walking the child
+            # list when elements have many non-matching children.
+            levels = index.levels
+            for p in ctx_pres:
+                child_level = levels[p] + 1
+                gathered.extend(
+                    q for q in index.window(p, p + sizes[p], local_name)
+                    if levels[q] == child_level)
+        else:
+            for p in ctx_pres:
+                end = p + sizes[p]
+                q = p + 1
+                while q <= end:
+                    gathered.append(q)
+                    q += sizes[q] + 1
+        gathered.sort()  # children of nested contexts interleave
+        out_pres = gathered
+    elif axis == "parent":
+        parent_set: set[int] = set(owner_pres)
+        for p in ctx_pres:
+            parent = nodes[p].parent
+            if parent is not None:
+                parent_set.add(pre_of[id(parent)])
+        out_pres = sorted(parent_set)
+    elif axis in ("ancestor", "ancestor-or-self"):
+        ancestor_set: set[int] = set()
+        chains = [nodes[p].parent for p in ctx_pres]
+        chains.extend(a.parent for a in attr_members)
+        for node in chains:
+            while node is not None:
+                q = pre_of[id(node)]
+                if q in ancestor_set:
+                    break  # staircase early exit: chain already seen
+                ancestor_set.add(q)
+                node = node.parent
+        if axis == "ancestor-or-self":
+            ancestor_set.update(ctx_pres)
+        out_pres = sorted(ancestor_set)
+    elif axis in ("following-sibling", "preceding-sibling"):
+        sibling_set: set[int] = set()
+        for p in ctx_pres:
+            parent = nodes[p].parent
+            if parent is None:
+                continue
+            pp = pre_of[id(parent)]
+            if axis == "following-sibling":
+                q = p + sizes[p] + 1
+                end = pp + sizes[pp]
+                while q <= end:
+                    sibling_set.add(q)
+                    q += sizes[q] + 1
+            else:
+                q = pp + 1
+                while q < p:
+                    sibling_set.add(q)
+                    q += sizes[q] + 1
+        out_pres = sorted(sibling_set)
+    elif axis == "following":
+        ends = [p + sizes[p] for p in ctx_pres]
+        ends.extend(p + sizes[p] for p in owner_pres)
+        if ends:
+            out_pres = index.after(min(ends), local_name)
+    elif axis == "preceding":
+        starts = ctx_pres + owner_pres
+        if starts:
+            boundary = max(starts)
+            ancestors = set(index.ancestor_pres(boundary))
+            out_pres = [q for q in index.before(boundary, local_name)
+                        if q not in ancestors]
+    else:  # pragma: no cover - callers restrict axes
+        raise ValueError(f"unknown axis {axis}")
+
+    if match_all:
+        out_nodes = [nodes[q] for q in out_pres]
+    else:
+        out_nodes = [node for node in (nodes[q] for q in out_pres)
+                     if matches(node)]
+    if extra:
+        from repro.xdm.sequence import document_order_sort
+        return document_order_sort(out_nodes + extra)
+    return out_nodes
+
+
+#: The downward axes :func:`axis_scan_batched` supports — declared next
+#: to the implementation so callers gating on it cannot drift.
+BATCHED_AXES = frozenset(
+    ("self", "child", "descendant", "descendant-or-self", "attribute"))
+
+
+def axis_scan_batched(index: StructuralIndex, axis: str,
+                      pairs: list[tuple],
+                      matches: Callable[[Node], bool],
+                      local_name: Optional[str] = None,
+                      match_all: bool = False) -> list[tuple]:
+    """Set-at-a-time downward-axis scan over many single-node contexts.
+
+    *pairs* is ``[(tag, pre), ...]`` — one context node per tag (a
+    loop-lifted iteration), tags in emission order.  One call scans
+    every context against the shared pre/size/level columns with the
+    per-axis dispatch hoisted out of the loop, returning ``(tag, node)``
+    rows in per-tag document order — the batched form of
+    :func:`axis_window_scan` the algebra layer uses for the
+    overwhelmingly common one-context-per-iteration plans.
+
+    Downward axes only: a single context node needs no staircase
+    pruning, so each context's window scan is independent.
+    """
+    nodes = index.nodes
+    sizes = index.sizes
+    out: list[tuple] = []
+    if axis == "attribute":
+        for tag, p in pairs:
+            for attribute in nodes[p].attributes:
+                if matches(attribute):
+                    out.append((tag, attribute))
+    elif axis == "self":
+        for tag, p in pairs:
+            node = nodes[p]
+            if match_all or matches(node):
+                out.append((tag, node))
+    elif axis == "child":
+        levels = index.levels
+        if local_name is not None:
+            pres = index.name_pres(local_name)
+            for tag, p in pairs:
+                child_level = levels[p] + 1
+                lo = bisect_right(pres, p)
+                hi = bisect_right(pres, p + sizes[p], lo)
+                for q in pres[lo:hi]:
+                    if levels[q] == child_level:
+                        node = nodes[q]
+                        if matches(node):
+                            out.append((tag, node))
+        else:
+            for tag, p in pairs:
+                end = p + sizes[p]
+                q = p + 1
+                while q <= end:
+                    node = nodes[q]
+                    if match_all or matches(node):
+                        out.append((tag, node))
+                    q += sizes[q] + 1
+    elif axis in ("descendant", "descendant-or-self"):
+        include_self = axis == "descendant-or-self"
+        if local_name is not None:
+            pres = index.name_pres(local_name)
+            for tag, p in pairs:
+                if include_self:
+                    node = nodes[p]
+                    if matches(node):
+                        out.append((tag, node))
+                lo = bisect_right(pres, p)
+                hi = bisect_right(pres, p + sizes[p], lo)
+                for q in pres[lo:hi]:
+                    node = nodes[q]
+                    if matches(node):
+                        out.append((tag, node))
+        else:
+            for tag, p in pairs:
+                start = p if include_self else p + 1
+                for q in range(start, p + sizes[p] + 1):
+                    node = nodes[q]
+                    if match_all or matches(node):
+                        out.append((tag, node))
+    else:  # pragma: no cover - callers restrict axes
+        raise ValueError(f"axis {axis} is not a batched downward axis")
+    return out
 
 
 def tree_groups(nodes: list[Node]) -> list[tuple[Node, list[Node]]]:

@@ -178,6 +178,76 @@ class _Parser:
 
     def _parse_element(self, namespaces: dict[str, str],
                        level: int = 0) -> ElementNode:
+        """Parse one element and its whole subtree, iteratively.
+
+        An explicit stack of open elements replaces the old
+        ``_parse_element``/``_parse_content`` mutual recursion, so
+        arbitrarily deep documents (XRPC payloads routinely nest
+        thousands of levels) parse under the default recursion limit.
+        ``size`` is stamped from the factory serial counter when each
+        element closes — the same single-pass stamping as before.
+        """
+        scanner = self.scanner
+        root, root_scope, closed = self._parse_open_tag(namespaces, level)
+        if closed:
+            return root
+        # (element, namespace scope, pending text pieces) per open element.
+        stack: list[tuple[ElementNode, dict[str, str], list[str]]] = [
+            (root, root_scope, [])]
+        while stack:
+            element, scope, text_buffer = stack[-1]
+            content_level = element.level + 1
+
+            def flush_text() -> None:
+                if text_buffer:
+                    element.append(self.factory.text(
+                        "".join(text_buffer), level=content_level))
+                    text_buffer.clear()
+
+            if scanner.at_end():
+                raise scanner.error(f"unterminated element <{element.name}>")
+            if scanner.startswith("</"):
+                flush_text()
+                scanner.advance(2)
+                closing = scanner.read_name()
+                if closing != element.name:
+                    raise scanner.error(
+                        f"mismatched end tag: expected </{element.name}>, "
+                        f"found </{closing}>")
+                scanner.skip_whitespace()
+                scanner.expect(">")
+                # Subtree complete: extent is every serial issued since.
+                element.size = self.factory.issued - element.order_key[1] - 1
+                stack.pop()
+            elif scanner.startswith("<!--"):
+                flush_text()
+                element.append(self._parse_comment(level=content_level))
+            elif scanner.startswith("<![CDATA["):
+                scanner.advance(9)
+                text_buffer.append(
+                    scanner.read_until("]]>", "unterminated CDATA section"))
+            elif scanner.startswith("<?"):
+                flush_text()
+                element.append(self._parse_pi(level=content_level))
+            elif scanner.peek() == "<":
+                flush_text()
+                child, child_scope, child_closed = self._parse_open_tag(
+                    scope, content_level)
+                element.append(child)
+                if not child_closed:
+                    stack.append((child, child_scope, []))
+            else:
+                start = scanner.pos
+                while not scanner.at_end() and scanner.peek() not in "<":
+                    scanner.advance()
+                raw = scanner.text[start:scanner.pos]
+                text_buffer.append(self._expand_references(raw))
+        return root
+
+    def _parse_open_tag(self, namespaces: dict[str, str],
+                        level: int) -> tuple[ElementNode, dict[str, str], bool]:
+        """Parse a start (or empty-element) tag; returns the element, its
+        namespace scope, and whether it was self-closing."""
         scanner = self.scanner
         scanner.expect("<")
         name = scanner.read_name()
@@ -229,56 +299,9 @@ class _Parser:
         if scanner.startswith("/>"):
             element.size = self.factory.issued - element.order_key[1] - 1
             scanner.advance(2)
-            return element
+            return element, scope, True
         scanner.expect(">")
-        self._parse_content(element, scope, level + 1)
-        closing = scanner.read_name()
-        if closing != name:
-            raise scanner.error(
-                f"mismatched end tag: expected </{name}>, found </{closing}>")
-        scanner.skip_whitespace()
-        scanner.expect(">")
-        # Subtree complete: its extent is every serial issued since ours.
-        element.size = self.factory.issued - element.order_key[1] - 1
-        return element
-
-    def _parse_content(self, element: ElementNode, namespaces: dict[str, str],
-                       level: int = 0) -> None:
-        scanner = self.scanner
-        text_buffer: list[str] = []
-
-        def flush_text() -> None:
-            if text_buffer:
-                element.append(self.factory.text("".join(text_buffer),
-                                                 level=level))
-                text_buffer.clear()
-
-        while True:
-            if scanner.at_end():
-                raise scanner.error(f"unterminated element <{element.name}>")
-            if scanner.startswith("</"):
-                flush_text()
-                scanner.advance(2)
-                return
-            if scanner.startswith("<!--"):
-                flush_text()
-                element.append(self._parse_comment(level=level))
-            elif scanner.startswith("<![CDATA["):
-                scanner.advance(9)
-                text_buffer.append(
-                    scanner.read_until("]]>", "unterminated CDATA section"))
-            elif scanner.startswith("<?"):
-                flush_text()
-                element.append(self._parse_pi(level=level))
-            elif scanner.peek() == "<":
-                flush_text()
-                element.append(self._parse_element(namespaces, level=level))
-            else:
-                start = scanner.pos
-                while not scanner.at_end() and scanner.peek() not in "<":
-                    scanner.advance()
-                raw = scanner.text[start:scanner.pos]
-                text_buffer.append(self._expand_references(raw))
+        return element, scope, False
 
     def _parse_comment(self, level: int = 0) -> Node:
         self.scanner.expect("<!--")

@@ -102,64 +102,84 @@ def serialize_sequence(items: Iterable[object]) -> str:
 
 def _serialize_node(node: Node, out: list[str], indent: bool, level: int,
                     scope: dict[str, str]) -> None:
-    pad = "  " * level if indent else ""
-    if isinstance(node, DocumentNode):
-        for child in node.children:
-            _serialize_node(child, out, indent, level, scope)
-            if indent:
-                out.append("\n")
-        return
-    if isinstance(node, ElementNode):
-        declarations = dict(node.namespace_declarations)
-        child_scope = {**scope, **declarations}
-        # Auto-declare prefixes in use on this element but unbound in scope
-        # (constructed trees carry resolved ns_uri without xmlns attrs).
-        for owner in (node, *node.attributes):
-            name = owner.name
-            ns_uri = getattr(owner, "ns_uri", None)
-            if ":" not in name or ns_uri is None:
-                continue
-            prefix = name.split(":", 1)[0]
-            if prefix in ("xml", "xmlns"):
-                continue
-            if child_scope.get(prefix) != ns_uri:
-                declarations[prefix] = ns_uri
-                child_scope[prefix] = ns_uri
-        out.append(f"{pad}<{node.name}")
-        for prefix, uri in sorted(declarations.items()):
-            name = "xmlns" if prefix == "" else f"xmlns:{prefix}"
-            if not any(a.name == name for a in node.attributes):
-                out.append(f' {name}="{escape_attribute(uri)}"')
-        for attribute in node.attributes:
-            out.append(f' {attribute.name}="{escape_attribute(attribute.value)}"')
-        if not node.children:
-            out.append("/>")
-            return
-        out.append(">")
-        only_text = all(isinstance(c, TextNode) for c in node.children)
-        if indent and not only_text:
+    """Iterative serialization: an explicit frame stack replaces the
+    call stack, so deep trees (XRPC payloads nest thousands of levels)
+    serialize under the default recursion limit.  A frame is either a
+    literal string to emit or a ``(node, indent, level, scope)`` tuple;
+    element frames expand into their pieces plus child frames in
+    document order.  Output is byte-identical to the old recursion.
+    """
+    stack: list = [(node, indent, level, scope)]
+    while stack:
+        frame = stack.pop()
+        if isinstance(frame, str):
+            out.append(frame)
+            continue
+        node, indent, level, scope = frame
+        pad = "  " * level if indent else ""
+        if isinstance(node, DocumentNode):
+            tokens: list = []
             for child in node.children:
-                out.append("\n")
-                _serialize_node(child, out, indent, level + 1, child_scope)
-            out.append(f"\n{pad}</{node.name}>")
-        else:
-            for child in node.children:
-                _serialize_node(child, out, indent=False, level=0,
-                                scope=child_scope)
-            out.append(f"</{node.name}>")
-        return
-    if isinstance(node, TextNode):
-        out.append(pad + escape_text(node.content))
-        return
-    if isinstance(node, CommentNode):
-        out.append(f"{pad}<!--{node.content}-->")
-        return
-    if isinstance(node, ProcessingInstructionNode):
-        out.append(f"{pad}<?{node.target} {node.content}?>")
-        return
-    if isinstance(node, AttributeNode):
-        # A standalone attribute serializes like the paper's example:
-        # <xrpc:attribute x="y"/> wraps it; bare attributes render name="value".
-        out.append(f'{node.name}="{escape_attribute(node.value)}"')
-        return
-    raise TypeError(f"cannot serialize node kind {node.kind}")
+                tokens.append((child, indent, level, scope))
+                if indent:
+                    tokens.append("\n")
+            stack.extend(reversed(tokens))
+            continue
+        if isinstance(node, ElementNode):
+            declarations = dict(node.namespace_declarations)
+            child_scope = {**scope, **declarations}
+            # Auto-declare prefixes in use on this element but unbound in
+            # scope (constructed trees carry resolved ns_uri without
+            # xmlns attrs).
+            for owner in (node, *node.attributes):
+                name = owner.name
+                ns_uri = getattr(owner, "ns_uri", None)
+                if ":" not in name or ns_uri is None:
+                    continue
+                prefix = name.split(":", 1)[0]
+                if prefix in ("xml", "xmlns"):
+                    continue
+                if child_scope.get(prefix) != ns_uri:
+                    declarations[prefix] = ns_uri
+                    child_scope[prefix] = ns_uri
+            out.append(f"{pad}<{node.name}")
+            for prefix, uri in sorted(declarations.items()):
+                name = "xmlns" if prefix == "" else f"xmlns:{prefix}"
+                if not any(a.name == name for a in node.attributes):
+                    out.append(f' {name}="{escape_attribute(uri)}"')
+            for attribute in node.attributes:
+                out.append(
+                    f' {attribute.name}="{escape_attribute(attribute.value)}"')
+            if not node.children:
+                out.append("/>")
+                continue
+            out.append(">")
+            only_text = all(isinstance(c, TextNode) for c in node.children)
+            tokens = []
+            if indent and not only_text:
+                for child in node.children:
+                    tokens.append("\n")
+                    tokens.append((child, indent, level + 1, child_scope))
+                tokens.append(f"\n{pad}</{node.name}>")
+            else:
+                for child in node.children:
+                    tokens.append((child, False, 0, child_scope))
+                tokens.append(f"</{node.name}>")
+            stack.extend(reversed(tokens))
+            continue
+        if isinstance(node, TextNode):
+            out.append(pad + escape_text(node.content))
+            continue
+        if isinstance(node, CommentNode):
+            out.append(f"{pad}<!--{node.content}-->")
+            continue
+        if isinstance(node, ProcessingInstructionNode):
+            out.append(f"{pad}<?{node.target} {node.content}?>")
+            continue
+        if isinstance(node, AttributeNode):
+            # A standalone attribute serializes like the paper's example:
+            # <xrpc:attribute x="y"/> wraps it; bare attributes render
+            # name="value".
+            out.append(f'{node.name}="{escape_attribute(node.value)}"')
+            continue
+        raise TypeError(f"cannot serialize node kind {node.kind}")

@@ -46,7 +46,8 @@ from repro.xdm.sequence import (
     effective_boolean_value,
 )
 from repro.xdm.structural import (
-    staircase_prune,
+    axis_window_scan,
+    split_context,
     structural_index,
     tree_groups,
 )
@@ -483,25 +484,7 @@ class Evaluator:
                         members: list, ctx: DynamicContext) -> list:
         index = structural_index(root)
         axis = step.axis
-        # Context split: pre-ranked tree nodes vs attribute nodes (the
-        # accelerator keeps attributes out of the pre array, like
-        # MonetDB's separate attribute table).
-        pre_of = index.pre_of
-        pres_seen: set[int] = set()
-        ctx_pres: list[int] = []
-        attr_seen: set[int] = set()
-        attr_members: list[Node] = []
-        for node in members:
-            if isinstance(node, AttributeNode):
-                if id(node) not in attr_seen:
-                    attr_seen.add(id(node))
-                    attr_members.append(node)
-            else:
-                pre = pre_of[id(node)]
-                if pre not in pres_seen:
-                    pres_seen.add(pre)
-                    ctx_pres.append(pre)
-        ctx_pres.sort()
+        ctx_pres, attr_members = split_context(index, members)
 
         if step.predicates:
             # Predicates are per-context (position()/last() count within
@@ -523,116 +506,22 @@ class Evaluator:
     def _axis_windows(self, step: A.AxisStep, index,
                       ctx_pres: list, attr_members: list,
                       ctx: DynamicContext) -> list:
-        """Whole-context window scans; results doc-ordered by construction."""
+        """Whole-context window scans; results doc-ordered by construction.
+
+        Delegates to the shared staircase core in
+        :func:`repro.xdm.structural.axis_window_scan`, with the node test
+        bound to this context's namespace environment.
+        """
         axis = step.axis
         test = step.node_test
-        nodes = index.nodes
-        sizes = index.sizes
-        pre_of = index.pre_of
         local = None
         if isinstance(test, A.NameTest) and test.local != "*":
             local = test.local
-
-        if axis == "attribute":
-            out_attrs: list[Node] = []
-            for p in ctx_pres:
-                for attribute in nodes[p].attributes:
-                    if self._node_test_matches(attribute, test, axis, ctx):
-                        out_attrs.append(attribute)
-            return out_attrs
-
-        # Attribute context nodes: upward/order axes go through the owner
-        # element; self-including axes contribute the attribute itself.
-        owner_pres = [pre_of[id(a.parent)] for a in attr_members
-                      if a.parent is not None]
-        extra: list[Node] = []
-        if axis in ("self", "descendant-or-self", "ancestor-or-self"):
-            extra = [a for a in attr_members
-                     if self._node_test_matches(a, test, axis, ctx)]
-
-        out_pres: list[int] = []
-        if axis == "self":
-            out_pres = ctx_pres
-        elif axis in ("descendant", "descendant-or-self"):
-            for p in staircase_prune(ctx_pres, sizes):
-                if axis == "descendant-or-self":
-                    out_pres.append(p)  # non-matching selves filtered below
-                out_pres.extend(index.window(p, p + sizes[p], local))
-        elif axis == "child":
-            gathered: list[int] = []
-            for p in ctx_pres:
-                end = p + sizes[p]
-                q = p + 1
-                while q <= end:
-                    gathered.append(q)
-                    q += sizes[q] + 1
-            gathered.sort()  # children of nested contexts interleave
-            out_pres = gathered
-        elif axis == "parent":
-            parent_set: set[int] = set(owner_pres)
-            for p in ctx_pres:
-                parent = nodes[p].parent
-                if parent is not None:
-                    parent_set.add(pre_of[id(parent)])
-            out_pres = sorted(parent_set)
-        elif axis in ("ancestor", "ancestor-or-self"):
-            ancestor_set: set[int] = set()
-            chains = [nodes[p].parent for p in ctx_pres]
-            chains.extend(a.parent for a in attr_members)
-            for node in chains:
-                while node is not None:
-                    q = pre_of[id(node)]
-                    if q in ancestor_set:
-                        break  # staircase early exit: chain already seen
-                    ancestor_set.add(q)
-                    node = node.parent
-            if axis == "ancestor-or-self":
-                ancestor_set.update(ctx_pres)
-            out_pres = sorted(ancestor_set)
-        elif axis in ("following-sibling", "preceding-sibling"):
-            sibling_set: set[int] = set()
-            for p in ctx_pres:
-                parent = nodes[p].parent
-                if parent is None:
-                    continue
-                pp = pre_of[id(parent)]
-                if axis == "following-sibling":
-                    q = p + sizes[p] + 1
-                    end = pp + sizes[pp]
-                    while q <= end:
-                        sibling_set.add(q)
-                        q += sizes[q] + 1
-                else:
-                    q = pp + 1
-                    while q < p:
-                        sibling_set.add(q)
-                        q += sizes[q] + 1
-            out_pres = sorted(sibling_set)
-        elif axis == "following":
-            ends = [p + sizes[p] for p in ctx_pres]
-            ends.extend(p + sizes[p] for p in owner_pres)
-            if ends:
-                out_pres = index.after(min(ends), local)
-        elif axis == "preceding":
-            starts = ctx_pres + owner_pres
-            if starts:
-                boundary = max(starts)
-                ancestors = set(index.ancestor_pres(boundary))
-                out_pres = [q for q in index.before(boundary, local)
-                            if q not in ancestors]
-        else:  # pragma: no cover - parser restricts axes
-            raise DynamicError("XPST0003", f"unknown axis {axis}")
-
-        if isinstance(test, A.KindTest) and test.kind == "node":
-            out_nodes = [nodes[q] for q in out_pres]
-        else:
-            out_nodes = [
-                node for node in (nodes[q] for q in out_pres)
-                if self._node_test_matches(node, test, axis, ctx)
-            ]
-        if extra:
-            return document_order_sort(out_nodes + extra)
-        return out_nodes
+        match_all = isinstance(test, A.KindTest) and test.kind == "node"
+        return axis_window_scan(
+            index, axis, ctx_pres, attr_members,
+            matches=lambda node: self._node_test_matches(node, test, axis, ctx),
+            local_name=local, match_all=match_all)
 
     def _axis_candidates(self, node: Node, axis: str, index) -> list:
         """Per-context candidates in the reference walkers' order, but
@@ -748,46 +637,8 @@ class Evaluator:
 
     def _node_test_matches(self, node: Node, test: A.NodeTest, axis: str,
                            ctx: DynamicContext) -> bool:
-        if isinstance(test, A.KindTest):
-            if test.kind == "node":
-                return True
-            kind_map = {
-                "text": TextNode,
-                "comment": CommentNode,
-                "element": ElementNode,
-                "attribute": AttributeNode,
-                "document": DocumentNode,
-                "processing-instruction": ProcessingInstructionNode,
-            }
-            cls = kind_map.get(test.kind)
-            if cls is None or not isinstance(node, cls):
-                return False
-            if test.name:
-                if isinstance(node, (ElementNode, AttributeNode)):
-                    return node.local_name == test.name.split(":")[-1]
-                if isinstance(node, ProcessingInstructionNode):
-                    return node.target == test.name
-            return True
-        # NameTest: principal node kind depends on the axis.
-        if axis == "attribute":
-            if not isinstance(node, AttributeNode):
-                return False
-        else:
-            if not isinstance(node, ElementNode):
-                return False
-        if test.local != "*" and node.local_name != test.local:
-            return False
-        if test.prefix == "*" or test.local == "*" and test.prefix is None:
-            return True
-        if test.prefix is None:
-            if axis == "attribute":
-                return node.ns_uri is None
-            default_ns = ctx.static.default_element_namespace
-            return node.ns_uri == default_ns
-        wanted = ctx.constructor_namespaces.get(test.prefix)
-        if wanted is None:
-            wanted = ctx.static.resolve_prefix(test.prefix)
-        return node.ns_uri == wanted
+        return node_test_matches(node, test, axis, ctx.static,
+                                 ctx.constructor_namespaces)
 
     def _eval_filter(self, expr: A.FilterExpr, ctx: DynamicContext) -> Sequence:
         base = self.eval(expr.base, ctx)
@@ -1328,6 +1179,56 @@ def _match_hash_join(clause: A.ForClause, following,
 
 # ---------------------------------------------------------------------------
 # Path optimization helpers
+
+
+def node_test_matches(node: Node, test: A.NodeTest, axis: str,
+                      static: StaticContext,
+                      constructor_namespaces: Optional[dict] = None) -> bool:
+    """Does *node* satisfy a step's node test on the given axis?
+
+    Standalone so both the interpreter and the loop-lifting compiler's
+    algebra axis-step operator share one name/kind-test semantics
+    (principal node kind, wildcards, namespace resolution).
+    """
+    if isinstance(test, A.KindTest):
+        if test.kind == "node":
+            return True
+        kind_map = {
+            "text": TextNode,
+            "comment": CommentNode,
+            "element": ElementNode,
+            "attribute": AttributeNode,
+            "document": DocumentNode,
+            "processing-instruction": ProcessingInstructionNode,
+        }
+        cls = kind_map.get(test.kind)
+        if cls is None or not isinstance(node, cls):
+            return False
+        if test.name:
+            if isinstance(node, (ElementNode, AttributeNode)):
+                return node.local_name == test.name.split(":")[-1]
+            if isinstance(node, ProcessingInstructionNode):
+                return node.target == test.name
+        return True
+    # NameTest: principal node kind depends on the axis.
+    if axis == "attribute":
+        if not isinstance(node, AttributeNode):
+            return False
+    else:
+        if not isinstance(node, ElementNode):
+            return False
+    if test.local != "*" and node.local_name != test.local:
+        return False
+    if test.prefix == "*" or test.local == "*" and test.prefix is None:
+        return True
+    if test.prefix is None:
+        if axis == "attribute":
+            return node.ns_uri is None
+        return node.ns_uri == static.default_element_namespace
+    wanted = (constructor_namespaces or {}).get(test.prefix)
+    if wanted is None:
+        wanted = static.resolve_prefix(test.prefix)
+    return node.ns_uri == wanted
 
 
 def _fuse_descendant_steps(steps: list) -> list:

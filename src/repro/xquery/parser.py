@@ -728,6 +728,27 @@ class _Parser:
             return True
         return False
 
+    def _parse_relative_steps(self) -> list:
+        """Steps of an absolute path (after the leading ``/`` or ``//``)."""
+        steps: list = list(self._parse_step_as_axis())
+        self._parse_more_steps(steps)
+        return steps
+
+    def _parse_more_steps(self, steps: list) -> None:
+        """Consume ``/ step`` and ``// step`` continuations onto *steps*."""
+        while True:
+            token = self.peek()
+            if token.is_symbol("/"):
+                self.next()
+                steps.extend(self._parse_step_as_axis())
+            elif token.is_symbol("//"):
+                self.next()
+                steps.append(A.AxisStep("descendant-or-self",
+                                        A.KindTest("node")))
+                steps.extend(self._parse_step_as_axis())
+            else:
+                break
+
     def _parse_relative_path(self) -> A.Expr:
         first = self._parse_step()
         if not (self.peek().is_symbol("/") or self.peek().is_symbol("//")):
@@ -740,17 +761,7 @@ class _Parser:
             steps.append(first)
         else:
             start = first
-        while True:
-            token = self.peek()
-            if token.is_symbol("/"):
-                self.next()
-                steps.extend(self._parse_step_as_axis())
-            elif token.is_symbol("//"):
-                self.next()
-                steps.append(A.AxisStep("descendant-or-self", A.KindTest("node")))
-                steps.extend(self._parse_step_as_axis())
-            else:
-                break
+        self._parse_more_steps(steps)
         return A.PathExpr(start, steps, absolute="none")
 
     def _parse_step_as_axis(self) -> list:

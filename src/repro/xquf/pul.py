@@ -191,7 +191,7 @@ class RenameNode(UpdatePrimitive):
 
     def apply(self) -> None:
         if isinstance(self.target, (ElementNode, AttributeNode)):
-            self.target.name = self.new_name
+            self.target.rename(self.new_name)
             return
         raise UpdateError("XUTY0012", "rename target must be element or attribute")
 
