@@ -1,9 +1,11 @@
 """Quickstart: the paper's film-database examples (Q1, Q2, Q3).
 
-Three XQuery peers share a film module; the origin peer executes the
-paper's queries over the simulated network, demonstrating single XRPC
-calls, Bulk RPC from a for-loop, and multi-destination parallel
-dispatch.
+A local :class:`repro.session.Database` session first (the unified
+prepare/execute surface with plan telemetry), then three XQuery peers
+sharing a film module; the origin peer executes the paper's queries
+over the simulated network, demonstrating single XRPC calls, Bulk RPC
+from a for-loop, and multi-destination parallel dispatch — every query
+routed lifted-plan-first through the same pipeline.
 
 Run::
 
@@ -12,6 +14,7 @@ Run::
 
 from repro.net import SimulatedNetwork
 from repro.rpc import XRPCPeer
+from repro.session import Database
 from repro.workloads.films import FILM_MODULE, FILM_MODULE_LOCATION
 from repro.xml.serializer import serialize_sequence
 
@@ -29,6 +32,19 @@ FILMS_Z = """<films>
 
 
 def main() -> None:
+    # --- Q0: a local session through the unified Database facade --------
+    db = Database()
+    db.register("filmDB.xml", FILMS_Y)
+    by_name = db.prepare("doc('filmDB.xml')//film[name = $t]/actor/text()")
+    print("Q0 (local session, prepared query):")
+    for title in ("The Rock", "Green Card"):
+        print(f"  {title}:", serialize_sequence(by_name.execute(t=title)))
+    explain = by_name.last_explain
+    print(f"  plan: {explain.plan}, "
+          f"plan cache {'hit' if explain.cache_hit else 'miss'}; "
+          f"stats: {db.stats().lifted_executions} lifted / "
+          f"{db.stats().interpreter_executions} interpreted\n")
+
     # One in-process network; three peers (p0 originates, y and z serve).
     network = SimulatedNetwork()
     p0 = XRPCPeer("p0.example.org", network)
@@ -53,7 +69,8 @@ def main() -> None:
     result = p0.execute_query(q1)
     print("Q1 (single call):")
     print(" ", serialize_sequence(result.sequence))
-    print(f"  messages sent: {result.messages_sent}\n")
+    print(f"  messages sent: {result.messages_sent} "
+          f"(plan: {result.plan})\n")
 
     # --- Q2: a call inside a for-loop => ONE bulk message ----------------
     q2 = f"""
@@ -84,6 +101,19 @@ def main() -> None:
     print(" ", serialize_sequence(result.sequence))
     print(f"  messages sent: {result.messages_sent} "
           f"({result.calls_shipped} calls, one bulk message per peer)")
+
+    # The element constructor around the loop keeps Q1–Q3 on the
+    # interpreter + batching executor; a bare loop of remote calls runs
+    # straight from the lifted relational plan (Figure 2).
+    q4 = f"""
+    import module namespace f="films" at "{FILM_MODULE_LOCATION}";
+    for $actor in ("Julie Andrews", "Sean Connery")
+    return execute at {{"xrpc://y.example.org"}} {{ f:filmsByActor($actor) }}
+    """
+    result = p0.execute_query(q4)
+    print("\nQ4 (bare loop, loop-lifted plan):")
+    print(" ", serialize_sequence(result.sequence))
+    print(f"  plan: {result.plan}, messages sent: {result.messages_sent}")
 
 
 if __name__ == "__main__":

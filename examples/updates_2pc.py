@@ -49,13 +49,15 @@ def main() -> None:
     origin, bank_a, bank_b = make_bank(network, ["origin", "bankA", "bankB"])
 
     # --- 1. Immediate updates (rule R_Fu) --------------------------------
-    origin.execute_query("""
+    result = origin.execute_query("""
     import module namespace acc = "urn:accounts" at "acc.xq";
     execute at {"xrpc://bankA"} { acc:set-balance("80") }
     """)
     print("After immediate update, bankA balance:",
           bank_a.store.get("account.xml").root_element
           .find("balance").string_value())
+    print(f"  (plan: {result.plan} — updating remote calls route through "
+          "the record-then-ship batching executor, never speculatively)")
 
     # --- 2. Atomic distributed transfer (rule R'_Fu + 2PC) ---------------
     result = origin.execute_query("""

@@ -70,7 +70,8 @@ def main() -> None:
             name = node.find("name").string_value()
             print(f"  {pid}: {name}")
         print(f"\nHTTP requests sent: {result.messages_sent}, "
-              f"calls shipped: {result.calls_shipped}")
+              f"calls shipped: {result.calls_shipped}, "
+              f"plan: {result.explain().plan}")
 
 
 if __name__ == "__main__":

@@ -3,12 +3,17 @@
 
 Public API highlights:
 
+* :class:`repro.session.Database` — the unified session API: register
+  documents, ``prepare``/``execute`` queries (lifted plan first,
+  interpreter fallback), ``explain()`` telemetry, bounded plan cache.
 * :class:`repro.rpc.XRPCPeer` — a full XRPC peer (engine + store +
-  server + client); ``execute_query`` originates distributed queries.
+  server + client); ``execute_query`` originates distributed queries
+  through the same unified pipeline.
 * :class:`repro.net.SimulatedNetwork` / :class:`repro.net.HttpTransport`
   — interchangeable transports.
 * :class:`repro.wrapper.XRPCWrapper` — serve XRPC with any XQuery engine.
-* :func:`repro.xquery.evaluate_query` — the standalone XQuery engine.
+* :func:`repro.xquery.evaluate_query` — the standalone XQuery engine
+  (deprecated shim over the session API).
 * :mod:`repro.experiments` — harnesses regenerating the paper's tables.
 
 See README.md for a guided tour and DESIGN.md for the system inventory.
@@ -23,6 +28,13 @@ from repro.errors import (
     TransportError,
     TransactionError,
 )
+from repro.session import (
+    Database,
+    DatabaseStats,
+    ExecutionContext,
+    Explain,
+    PreparedQuery,
+)
 
 __all__ = [
     "__version__",
@@ -31,4 +43,9 @@ __all__ = [
     "XRPCFault",
     "TransportError",
     "TransactionError",
+    "Database",
+    "DatabaseStats",
+    "ExecutionContext",
+    "Explain",
+    "PreparedQuery",
 ]

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 from repro.algebra.table import Table
 from repro.xdm.nodes import AttributeNode, Node
+from repro.xdm.sequence import document_order_sort
 from repro.xdm.structural import (
     BATCHED_AXES,
     axis_scan_batched,
@@ -29,6 +30,7 @@ from repro.xdm.structural import (
     structural_index,
     tree_groups,
 )
+from repro.xquery.evaluator import axis_value_index
 
 #: Axes the algebra layer evaluates as window scans.  The remaining
 #: axes (ancestor, following, preceding, siblings, parent) stay with the
@@ -140,4 +142,73 @@ def axis_step(table: Table, axis: str, matches: Callable[[Node], bool],
         for pos, node in enumerate(results, start=1):
             rows.append((it, pos, node))
     flush()
+    return Table(("iter", "pos", "item"), rows)
+
+
+def equality_probe_step(table: Table, axis: str, node_test,
+                        key_path: tuple,
+                        probes_by_iter: dict[int, list[str]],
+                        static) -> Optional[Table]:
+    """Axis step + equality predicate as one hash-join probe.
+
+    The relational form of ``axis::name[path = value]``: instead of
+    scanning the axis window and re-evaluating the predicate per
+    candidate (a per-iteration re-scan), probe the per-anchor value
+    index the interpreter already builds
+    (:func:`repro.xquery.evaluator.axis_value_index`, cached on the
+    tree's ``StructuralIndex``) with each iteration's probe strings.
+    Matches come back in document order, duplicate handling identical to
+    the interpreter's indexed step.
+
+    Parameters
+    ----------
+    table:
+        ``iter|pos|item`` context relation.
+    axis:
+        ``child`` or ``descendant`` (the indexable axes).
+    node_test:
+        Non-wildcard :class:`~repro.xquery.xast.NameTest` of the step.
+    key_path:
+        Hashable predicate key path from
+        ``_indexable_predicate_key_path``.
+    probes_by_iter:
+        Probe strings per iteration (an absent iteration probes
+        nothing: ``[x = ()]`` keeps no candidates).
+    static:
+        Static context for name-test namespace resolution.
+
+    Returns ``None`` when a context shape the probe cannot serve
+    appears (multi-node or attribute contexts, non-node items) —
+    callers fall back to the scan-then-filter pipeline.
+    """
+    iter_index = table.col("iter")
+    item_index = table.col("item")
+    by_iter: dict = {}
+    ascending = True
+    previous = None
+    for row in table.rows:
+        it = row[iter_index]
+        item = row[item_index]
+        if not isinstance(item, Node) or isinstance(item, AttributeNode):
+            return None
+        members = by_iter.get(it)
+        if members is None:
+            by_iter[it] = [item]
+            if previous is not None and it < previous:
+                ascending = False
+            previous = it
+        else:
+            return None  # multi-node context: staircase scan handles it
+    rows: list[tuple] = []
+    for it in (by_iter if ascending else sorted(by_iter)):
+        probes = probes_by_iter.get(it)
+        if not probes:
+            continue
+        [anchor] = by_iter[it]
+        index = axis_value_index(anchor, axis, node_test, key_path, static)
+        matches: list[Node] = []
+        for value in probes:
+            matches.extend(index.get(value, ()))
+        for pos, node in enumerate(document_order_sort(matches), start=1):
+            rows.append((it, pos, node))
     return Table(("iter", "pos", "item"), rows)

@@ -11,6 +11,13 @@ Documents are mounted as ``uri=path`` (or just ``path``, using the file
 name as URI); ``--module`` registers library modules so ``import
 module`` resolves.  Updating queries apply their pending update list and
 ``--save uri=path`` writes the post-state back out.
+
+Queries route through the unified session API
+(:class:`repro.session.Database`): the loop-lifted relational plan runs
+first, anything outside the lifted core falls back to the tree
+interpreter.  ``--explain`` prints the plan kind, fallback reason and
+compile/execute timings to stderr; ``--no-lifted`` pins the query to
+the interpreter.
 """
 
 from __future__ import annotations
@@ -20,10 +27,8 @@ import sys
 from pathlib import Path
 
 from repro.errors import XRPCReproError
-from repro.rpc.store import DocumentStore
+from repro.session import Database
 from repro.xml.serializer import serialize, serialize_sequence
-from repro.xquery.evaluator import evaluate_query
-from repro.xquery.modules import ModuleRegistry
 
 
 def _split_mount(spec: str) -> tuple[str, str]:
@@ -56,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a (possibly updated) document back out")
     parser.add_argument("--indent", action="store_true",
                         help="pretty-print node results")
+    parser.add_argument("--explain", action="store_true",
+                        help="print plan kind, fallback reason and timings "
+                             "to stderr")
+    parser.add_argument("--no-lifted", action="store_true",
+                        help="skip the loop-lifted relational plan and run "
+                             "the tree interpreter directly")
     return parser
 
 
@@ -70,34 +81,29 @@ def main(argv: list[str] | None = None) -> int:
     else:
         source = Path(args.query).read_text(encoding="utf-8")
 
-    registry = ModuleRegistry()
+    db = Database(try_lifted=not args.no_lifted)
     for spec in args.module:
         location, path = _split_mount(spec)
-        registry.register_source(Path(path).read_text(encoding="utf-8"),
-                                 location=location)
-
-    store = DocumentStore()
+        db.register_module(Path(path).read_text(encoding="utf-8"),
+                           location=location)
     for spec in args.doc:
         uri, path = _split_mount(spec)
-        store.register(uri, Path(path).read_text(encoding="utf-8"))
+        db.register(uri, Path(path).read_text(encoding="utf-8"))
 
     variables = {}
     for spec in args.var:
         name, _, value = spec.partition("=")
-        from repro.xdm.atomic import string as make_string
-        variables[name] = [make_string(value)]
+        variables[name] = value
 
     try:
-        result = evaluate_query(
-            source,
-            registry=registry,
-            doc_resolver=store.get,
-            variables=variables or None,
-            put_store=store.put,
-        )
+        prepared = db.prepare(source)
+        result = prepared.execute(variables=variables or None)
     except XRPCReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+    if args.explain and prepared.last_explain is not None:
+        print(prepared.last_explain.render(), file=sys.stderr)
 
     if args.indent:
         from repro.xdm.nodes import Node
@@ -116,7 +122,7 @@ def main(argv: list[str] | None = None) -> int:
     for spec in args.save:
         uri, path = _split_mount(spec)
         Path(path).write_text(
-            serialize(store.get(uri), xml_declaration=True) + "\n",
+            serialize(db.store.get(uri), xml_declaration=True) + "\n",
             encoding="utf-8")
     return 0
 

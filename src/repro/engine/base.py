@@ -2,15 +2,60 @@
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Optional
 
+from repro.xquery.context import ExecutionContext
 from repro.xquery.evaluator import CompiledQuery
 from repro.xquery.modules import ModuleRegistry
+
+#: Default bound of the per-engine plan cache.  Large enough that any of
+#: the paper's workloads fit entirely; small enough that a multi-user
+#: peer serving millions of distinct ad-hoc query texts cannot grow the
+#: cache without bound.
+DEFAULT_PLAN_CACHE_SIZE = 256
+
+
+@dataclass
+class Explain:
+    """Telemetry of one execution through the unified entry point.
+
+    ``plan`` is the pipeline that produced the result (``"lifted"`` for
+    the Pathfinder loop-lifted relational plan, ``"interpreter"`` for
+    the tree-walking fallback); ``fallback_reason`` is the
+    ``UnsupportedExpression`` message — uniformly naming the offending
+    AST node type — when a lifted attempt bailed, and ``None`` when the
+    plan ran lifted or lifting was disabled by the caller.
+    """
+
+    plan: str
+    fallback_reason: Optional[str]
+    compile_seconds: float
+    execute_seconds: float
+    cache_hit: bool
+
+    def render(self) -> str:
+        """Human-readable one-paragraph form (the CLI's --explain)."""
+        lines = [f"plan: {self.plan}"]
+        if self.fallback_reason:
+            lines.append(f"fallback: {self.fallback_reason}")
+        lines.append(f"plan cache: {'hit' if self.cache_hit else 'miss'}")
+        lines.append(f"compile: {self.compile_seconds * 1000.0:.3f} ms")
+        lines.append(f"execute: {self.execute_seconds * 1000.0:.3f} ms")
+        return "\n".join(lines)
 
 
 class Engine:
     """Base engine: compiles queries, optionally caching plans.
+
+    ``execute`` is the single query-service surface: compile through the
+    (bounded, thread-safe) plan cache, try the loop-lifted relational
+    plan, fall back to the tree interpreter with recorded telemetry.
+    :class:`~repro.session.Database` and :class:`~repro.rpc.XRPCPeer`
+    both route through it.
 
     Parameters
     ----------
@@ -18,6 +63,8 @@ class Engine:
         Module registry resolving ``import module`` statements.
     plan_cache:
         Cache compiled queries by source text (prepared-query behaviour).
+    plan_cache_size:
+        Bound of the plan cache (LRU eviction); ``None`` means unbounded.
     function_cache:
         Remember which remote-callable functions already have a
         translated plan; the XRPC server consults this to decide whether
@@ -37,99 +84,191 @@ class Engine:
     def __init__(self, registry: Optional[ModuleRegistry] = None,
                  plan_cache: bool = True, function_cache: bool = True,
                  bulk_rpc: bool = True, optimize_flwor_joins: bool = True,
-                 accelerator: bool = True) -> None:
+                 accelerator: bool = True,
+                 plan_cache_size: Optional[int] = DEFAULT_PLAN_CACHE_SIZE,
+                 ) -> None:
         self.registry = registry or ModuleRegistry()
         self.plan_cache_enabled = plan_cache
+        self.plan_cache_size = plan_cache_size
         self.function_cache_enabled = function_cache
         self.bulk_rpc = bulk_rpc
         self.optimize_flwor_joins = optimize_flwor_joins
         self.accelerator = accelerator
-        self._plan_cache: dict[str, CompiledQuery] = {}
+        self._plan_cache: OrderedDict[str, CompiledQuery] = OrderedDict()
         self._function_cache: set[tuple[str, str, int]] = set()
+        # compile() and the function cache may be hit concurrently (the
+        # HTTP daemon is threaded; Database.prepare is documented
+        # thread-safe), so cache mutation is serialized.  Parsing itself
+        # runs outside the lock — concurrent misses on the same source
+        # compile twice and the last insert wins, which is harmless.
+        self._cache_lock = threading.Lock()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         # Wall-clock phase timers of the most recent compile (Table 3).
         self.last_compile_seconds = 0.0
-        # Telemetry of the most recent execute_lifted call: which plan
-        # ran ("lifted" | "interpreter") and, on fallback, the uniform
+        self.last_compile_cache_hit = False
+        # Telemetry of the most recent execute call: which plan ran
+        # ("lifted" | "interpreter") and, on fallback, the uniform
         # UnsupportedExpression message naming the offending AST node.
         self.last_plan: Optional[str] = None
         self.last_fallback_reason: Optional[str] = None
 
     def compile(self, source: str) -> CompiledQuery:
-        if self.plan_cache_enabled and source in self._plan_cache:
-            self.last_compile_seconds = 0.0
-            return self._plan_cache[source]
-        started = time.perf_counter()
-        compiled = CompiledQuery(source, self.registry)
-        self.last_compile_seconds = time.perf_counter() - started
-        if self.plan_cache_enabled:
-            self._plan_cache[source] = compiled
+        compiled, _, _ = self.compile_with_stats(source)
         return compiled
 
-    # -- loop-lifted execution with interpreter fallback --------------------
+    def compile_with_stats(self, source: str,
+                           ) -> tuple[CompiledQuery, float, bool]:
+        """Compile through the plan cache; returns
+        ``(compiled, compile_seconds, cache_hit)``.
+
+        The stats come back as return values so concurrent compiles
+        cannot report each other's numbers — the ``last_compile_*``
+        attributes are kept for legacy callers but are last-writer-wins
+        under concurrency.
+        """
+        if self.plan_cache_enabled:
+            with self._cache_lock:
+                cached = self._plan_cache.get(source)
+                if cached is not None:
+                    self._plan_cache.move_to_end(source)
+                    self.plan_cache_hits += 1
+                    self.last_compile_seconds = 0.0
+                    self.last_compile_cache_hit = True
+                    return cached, 0.0, True
+                self.plan_cache_misses += 1
+        started = time.perf_counter()
+        compiled = CompiledQuery(source, self.registry)
+        compile_seconds = time.perf_counter() - started
+        self.last_compile_seconds = compile_seconds
+        self.last_compile_cache_hit = False
+        if self.plan_cache_enabled:
+            with self._cache_lock:
+                self._plan_cache[source] = compiled
+                self._plan_cache.move_to_end(source)
+                if self.plan_cache_size is not None:
+                    while len(self._plan_cache) > self.plan_cache_size:
+                        self._plan_cache.popitem(last=False)
+        return compiled, compile_seconds, False
+
+    # -- the unified prepare/execute surface --------------------------------
+
+    def execute(self, source: str,
+                context: Optional[ExecutionContext] = None,
+                ) -> tuple[list, Explain]:
+        """Run a query through the lifted pipeline with interpreter
+        fallback; returns ``(result, Explain)``.
+
+        The compiled query comes from the shared plan cache, and the
+        lifted pipeline statically preflights the AST, so
+        statically-unsupported queries fall back before any ``execute
+        at`` ships; a *dynamic* bail (runtime positional predicate,
+        non-node path item) can still occur mid-plan, so route queries
+        with updating remote calls to the interpreter directly
+        (``context.try_lifted = False``) if that matters.
+
+        ``context.dispatch`` serves the lifted plan's Bulk RPC shipping;
+        ``context.xrpc_handler`` serves ``execute at`` on the
+        interpreter fallback (the two layers' contracts differ, see
+        :class:`~repro.xquery.context.RemoteCall`).  The attempt and its
+        outcome are recorded in ``last_plan`` / ``last_fallback_reason``
+        and returned as the :class:`Explain`.
+        """
+        # A missing context inherits the engine's own configuration
+        # (the ablation toggles execute_lifted always honored).
+        options = context if context is not None else ExecutionContext(
+            accelerator=self.accelerator,
+            optimize_joins=self.optimize_flwor_joins)
+        self.last_plan = None
+        self.last_fallback_reason = None
+        compiled, compile_seconds, cache_hit = self.compile_with_stats(source)
+        started = time.perf_counter()
+        fallback_reason = None
+        if options.try_lifted:
+            result, fallback_reason = self.attempt_lifted(source, compiled,
+                                                          options)
+            if fallback_reason is None:
+                self.record_plan("lifted", None)
+                return result, Explain(
+                    plan="lifted", fallback_reason=None,
+                    compile_seconds=compile_seconds,
+                    execute_seconds=time.perf_counter() - started,
+                    cache_hit=cache_hit)
+        self.record_plan("interpreter", fallback_reason)
+        result, pul = compiled.run(options)
+        if pul and options.apply_updates:
+            from repro.xquf.pul import apply_updates
+            apply_updates(pul)
+        return result, Explain(
+            plan="interpreter", fallback_reason=fallback_reason,
+            compile_seconds=compile_seconds,
+            execute_seconds=time.perf_counter() - started,
+            cache_hit=cache_hit)
+
+    def attempt_lifted(self, source: str, compiled: CompiledQuery,
+                       context: ExecutionContext,
+                       ) -> tuple[Optional[list], Optional[str]]:
+        """One lifted-plan attempt: ``(result, None)`` on success,
+        ``(None, fallback_reason)`` when the query is outside the lifted
+        core — shared by :meth:`execute` and the peer's originating
+        path, so fallback handling cannot drift between them."""
+        from repro.pathfinder import LoopLiftedQuery, UnsupportedExpression
+
+        try:
+            query = LoopLiftedQuery(source, compiled=compiled,
+                                    context=context)
+            return query.run(context=context), None
+        except UnsupportedExpression as unsupported:
+            return None, str(unsupported)
+
+    def record_plan(self, plan: str, fallback_reason: Optional[str]) -> None:
+        """Record the most recent plan choice (legacy telemetry; the
+        returned :class:`Explain` is the race-free surface)."""
+        self.last_plan = plan
+        self.last_fallback_reason = fallback_reason
+
+    # -- deprecated keyword-style entry point -------------------------------
 
     def execute_lifted(self, source: str, doc_resolver=None,
                        variables: Optional[dict] = None,
                        context_item=None, dispatch=None,
                        xrpc_handler=None) -> list:
-        """Run a query through the Pathfinder loop-lifting pipeline,
-        falling back to the tree interpreter when it is outside the
-        lifted core.
-
-        This is the fallback plumbing the relational pushdown needs:
-        the attempt and its outcome are recorded in ``last_plan`` and
-        ``last_fallback_reason`` (the ``UnsupportedExpression`` message,
-        which uniformly names the offending AST node type), so callers
-        and tests can assert *why* a query wasn't lifted.  The compiled
-        query comes from the shared plan cache, and the lifted pipeline
-        statically preflights the AST, so statically-unsupported queries
-        fall back before any ``execute at`` ships; a *dynamic* bail
-        (runtime positional predicate, non-node path item) can still
-        occur mid-plan, so route queries with updating remote calls to
-        the interpreter directly if that matters.
-
-        ``dispatch`` serves the lifted plan's Bulk RPC shipping;
-        ``xrpc_handler`` serves ``execute at`` on the interpreter
-        fallback (the two layers' contracts differ, see
-        :class:`~repro.xquery.context.RemoteCall`).
-        """
-        from repro.pathfinder import LoopLiftedQuery, UnsupportedExpression
-
-        self.last_plan = None
-        self.last_fallback_reason = None
-        compiled = self.compile(source)
-        try:
-            query = LoopLiftedQuery(source, dispatch=dispatch,
-                                    doc_resolver=doc_resolver,
-                                    compiled=compiled)
-            result = query.run(variables=variables,
-                               context_item=context_item)
-            self.last_plan = "lifted"
-            return result
-        except UnsupportedExpression as unsupported:
-            self.last_plan = "interpreter"
-            self.last_fallback_reason = str(unsupported)
-        result, pul = compiled.execute(
+        """Deprecated shim over :meth:`execute` (the pre-session-API
+        signature); returns the bare result sequence."""
+        result, _ = self.execute(source, ExecutionContext(
             doc_resolver=doc_resolver, variables=variables,
-            context_item=context_item, xrpc_handler=xrpc_handler,
+            context_item=context_item, dispatch=dispatch,
+            xrpc_handler=xrpc_handler,
             optimize_joins=self.optimize_flwor_joins,
-            accelerator=self.accelerator)
-        if pul:
-            from repro.xquf.pul import apply_updates
-            apply_updates(pul)
+            accelerator=self.accelerator))
         return result
 
     # -- function cache (server-side plan cache per remote function) -------
 
     def function_cache_lookup(self, key: tuple[str, str, int]) -> bool:
-        return self.function_cache_enabled and key in self._function_cache
+        with self._cache_lock:
+            return self.function_cache_enabled and key in self._function_cache
 
     def function_cache_store(self, key: tuple[str, str, int]) -> None:
         if self.function_cache_enabled:
-            self._function_cache.add(key)
+            with self._cache_lock:
+                self._function_cache.add(key)
 
     def clear_caches(self) -> None:
-        self._plan_cache.clear()
-        self._function_cache.clear()
+        with self._cache_lock:
+            self._plan_cache.clear()
+            self._function_cache.clear()
+
+    def cache_stats(self) -> dict:
+        """Plan/function cache counters (surfaced by Database.stats())."""
+        with self._cache_lock:
+            return {
+                "plan_cache_hits": self.plan_cache_hits,
+                "plan_cache_misses": self.plan_cache_misses,
+                "plan_cache_entries": len(self._plan_cache),
+                "plan_cache_size": self.plan_cache_size,
+                "function_cache_entries": len(self._function_cache),
+            }
 
 
 class MonetEngine(Engine):

@@ -71,6 +71,11 @@ class Table2Experiment:
         assert result.sequence == []  # echoVoid returns ()
         expected_messages = 1 if mechanism == "bulk" else iterations
         assert result.messages_sent == expected_messages
+        # The unified pipeline serves the bulk mechanism from the lifted
+        # relational plan (the echo loop is inside the lifted core);
+        # forcing one-at-a-time pins the interpreter.
+        expected_plan = "lifted" if mechanism == "bulk" else "interpreter"
+        assert result.explain().plan == expected_plan
         return result.elapsed_seconds * 1000.0
 
     def run(self) -> list[Table2Row]:

@@ -90,6 +90,12 @@ class ThroughputExperiment:
             started = time.perf_counter()
             origin.execute_query(self._payload_query(direction))
             seconds = time.perf_counter() - started
+        # Both payload queries are outside the lifted core (element
+        # construction / fn:count), so the unified pipeline must have
+        # fallen back with a recorded reason — assert the telemetry so
+        # the shape can't silently change.
+        assert origin.engine.last_plan == "interpreter"
+        assert origin.engine.last_fallback_reason is not None
         payload = network.bytes_sent if direction == "request" \
             else network.bytes_received
         return ThroughputRow(

@@ -24,10 +24,14 @@ from repro.pathfinder.compiler import (
     LoopLiftingCompiler,
     LoopLiftedQuery,
     UnsupportedExpression,
+    iter_ast_nodes,
+    remote_call_profile,
 )
 
 __all__ = [
     "LoopLiftingCompiler",
     "LoopLiftedQuery",
     "UnsupportedExpression",
+    "iter_ast_nodes",
+    "remote_call_profile",
 ]

@@ -24,20 +24,97 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.algebra.paths import LIFTED_AXES, axis_step
+from repro.algebra.paths import LIFTED_AXES, axis_step, equality_probe_step
 from repro.algebra.table import Table
 from repro.errors import XRPCReproError
 from repro.xdm.atomic import AtomicValue, general_compare_pair, integer, string
 from repro.xdm.nodes import Node
 from repro.xdm.sequence import atomize, effective_boolean_value
+from repro.xdm.types import xs
 from repro.xquery import xast as A
-from repro.xquery.context import StaticContext
+from repro.xquery.context import ExecutionContext, StaticContext
 from repro.xquery.evaluator import (
     CompiledQuery,
     _arith,
     _fuse_descendant_steps,
+    _indexable_predicate_key_path,
     node_test_matches,
 )
+
+
+def _ast_children(value):
+    """Dataclass nodes directly reachable through one field value
+    (descending through arbitrarily nested lists/tuples, so shapes like
+    ``DirectElement.attributes: list[tuple[str, list[ContentPart]]]``
+    are fully covered)."""
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _ast_children(item)
+
+
+def iter_ast_nodes(root):
+    """Every dataclass node reachable from *root*, root included."""
+    import dataclasses
+
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for field in dataclasses.fields(node):
+            stack.extend(_ast_children(getattr(node, field.name)))
+
+
+def remote_call_profile(compiled: CompiledQuery) -> tuple[int, bool]:
+    """``(execute-at sites, any site calls an updating function)`` of a
+    compiled query body — memoized on the compiled query, so plan-cache
+    hits do not re-walk the AST.
+
+    Both figures drive :meth:`repro.rpc.XRPCPeer.execute_query`'s
+    routing.  The lifted pipeline ships one bulk message per (site,
+    destination) while the batching executor groups recorded calls by
+    (destination, function) *across* sites, so multi-site queries ship
+    fewer messages through the latter.  The updating flag is the
+    no-speculative-shipping guard: the lifted pipeline dispatches
+    during evaluation, so a *dynamic* bail after an updating call
+    shipped would make the interpreter fallback apply the update twice.
+    Unresolvable call names count as updating (conservative: route to
+    the record-then-ship batching executor).
+    """
+    cached = getattr(compiled, "_remote_call_profile", None)
+    if cached is not None:
+        return cached
+    sites = 0
+    updating = False
+    body = compiled.ast.body
+    if body is not None:
+        for node in iter_ast_nodes(body):
+            if not isinstance(node, A.ExecuteAt):
+                continue
+            sites += 1
+            try:
+                uri, local = compiled.static.resolve_function_name(
+                    node.call.name)
+                decl = compiled.static.lookup_function(
+                    uri, local, len(node.call.args))
+            except XRPCReproError:
+                decl = None
+            if decl is None or getattr(decl, "updating", False):
+                updating = True
+    compiled._remote_call_profile = (sites, updating)
+    return compiled._remote_call_profile
+
+
+def _context_free_probe(expr: A.Expr) -> bool:
+    """May *expr* be evaluated under the outer loop (no candidate focus)?"""
+    if isinstance(expr, (A.Literal, A.VarRef)):
+        return True
+    if isinstance(expr, A.SequenceExpr):
+        return all(_context_free_probe(item) for item in expr.items)
+    return False
 
 # dispatch(destination, module_uri, location, function, arity,
 #          calls, updating) -> list of result sequences, one per call
@@ -84,9 +161,12 @@ class LoopLiftingCompiler:
     def __init__(self, static: StaticContext,
                  dispatch: Optional[Dispatch] = None,
                  trace: bool = False,
-                 doc_resolver: Optional[DocResolver] = None) -> None:
+                 doc_resolver: Optional[DocResolver] = None,
+                 dispatch_parallel: Optional[Callable[[list], list]] = None,
+                 ) -> None:
         self.static = static
         self.dispatch = dispatch
+        self.dispatch_parallel = dispatch_parallel
         self.trace_enabled = trace
         self.trace: list[dict] = []
         self.doc_resolver = doc_resolver
@@ -454,11 +534,12 @@ class LoopLiftingCompiler:
             if not isinstance(step, A.AxisStep):
                 raise _unsupported(
                     expr, f"step {type(step).__name__} is not lifted")
-            current = self._compile_axis_step(expr, step, current, env)
+            current = self._compile_axis_step(expr, step, current, loop, env)
         return current
 
     def _compile_axis_step(self, expr: A.PathExpr, step: A.AxisStep,
-                           current: Table, env: dict[str, Table]) -> Table:
+                           current: Table, loop: Table,
+                           env: dict[str, Table]) -> Table:
         axis = step.axis
         if axis not in LIFTED_AXES:
             raise _unsupported(expr, f"axis {axis} is not lifted")
@@ -467,6 +548,9 @@ class LoopLiftingCompiler:
         if isinstance(test, A.NameTest) and test.local != "*":
             local = test.local
         match_all = isinstance(test, A.KindTest) and test.kind == "node"
+        probed = self._try_equality_probe(step, current, loop, env)
+        if probed is not None:
+            return probed
         try:
             result = axis_step(
                 current, axis,
@@ -479,6 +563,47 @@ class LoopLiftingCompiler:
             result = self._apply_step_predicates(expr, result,
                                                  step.predicates, env)
         return result
+
+    def _try_equality_probe(self, step: A.AxisStep, current: Table,
+                            loop: Table, env: dict[str, Table],
+                            ) -> Optional[Table]:
+        """``axis::name[path = value]`` as a value-index hash probe.
+
+        The algebra twin of the interpreter's indexed step: when the
+        step carries exactly one indexable equality predicate, probe the
+        per-anchor value index cached on the tree's ``StructuralIndex``
+        instead of scanning the axis window and re-filtering every
+        candidate.  The probe expression compiles under the *outer*
+        loop, so it must not reference the candidate context item —
+        only literals, variables and sequences of those qualify (the
+        ``[x = $v]`` / ``[x = 'lit']`` shapes of the ROADMAP item).
+        Returns ``None`` whenever any precondition fails; the generic
+        scan-then-filter pipeline takes over.
+        """
+        if len(step.predicates) != 1 or step.axis not in ("child", "descendant"):
+            return None
+        if not isinstance(step.node_test, A.NameTest) \
+                or step.node_test.local == "*":
+            return None
+        key_path = _indexable_predicate_key_path(step.predicates[0])
+        if key_path is None:
+            return None
+        predicate = step.predicates[0]
+        assert isinstance(predicate, A.Comparison)
+        if not _context_free_probe(predicate.right):
+            return None
+        probe = self.compile_expr(predicate.right, loop, env)
+        probes_by_iter: dict[int, list[str]] = {}
+        for it, pos, item in probe.rows:
+            probes_by_iter.setdefault(it, []).append(item)
+        for it, items in probes_by_iter.items():
+            values = atomize(items)
+            if not all(v.type in (xs.string, xs.untypedAtomic)
+                       for v in values):
+                return None  # non-string probes: general comparison rules
+            probes_by_iter[it] = [v.string_value() for v in values]
+        return equality_probe_step(current, step.axis, step.node_test,
+                                   key_path, probes_by_iter, self.static)
 
     def _apply_step_predicates(self, expr: A.PathExpr, table: Table,
                                predicates: list, env: dict[str, Table]) -> Table:
@@ -580,11 +705,23 @@ class LoopLiftingCompiler:
                 "calls": calls,
             })
 
-        # Ship one Bulk RPC per peer.
-        for entry in per_peer:
-            results = self.dispatch(
-                entry["peer"], uri, location, local, len(params),
-                entry["calls"], updating)
+        # Ship one Bulk RPC per peer — fanned out in parallel across
+        # distinct destinations when the dispatch layer supports it
+        # (Figure 2's parallel dispatch).
+        if self.dispatch_parallel is not None and len(per_peer) > 1:
+            requests = [
+                (entry["peer"], uri, location, local, len(params),
+                 entry["calls"], updating)
+                for entry in per_peer
+            ]
+            all_results = self.dispatch_parallel(requests)
+        else:
+            all_results = [
+                self.dispatch(entry["peer"], uri, location, local,
+                              len(params), entry["calls"], updating)
+                for entry in per_peer
+            ]
+        for entry, results in zip(per_peer, all_results):
             rows = []
             for iterp, sequence in enumerate(results, start=1):
                 for pos, item in enumerate(sequence, start=1):
@@ -622,20 +759,35 @@ class LoopLiftedQuery:
                  dispatch: Optional[Dispatch] = None,
                  trace: bool = False,
                  doc_resolver: Optional[DocResolver] = None,
-                 compiled: Optional[CompiledQuery] = None) -> None:
+                 compiled: Optional[CompiledQuery] = None,
+                 context: Optional[ExecutionContext] = None) -> None:
+        dispatch_parallel = None
+        if context is not None:
+            dispatch = dispatch or context.dispatch
+            doc_resolver = doc_resolver or context.doc_resolver
+            dispatch_parallel = context.dispatch_parallel
         self.compiled = compiled if compiled is not None \
             else CompiledQuery(source, registry)
         self.compiler = LoopLiftingCompiler(
             self.compiled.static, dispatch, trace=trace,
-            doc_resolver=doc_resolver)
+            doc_resolver=doc_resolver, dispatch_parallel=dispatch_parallel)
 
     @property
     def trace(self) -> list[dict]:
         return self.compiler.trace
 
     def run(self, variables: Optional[dict[str, list]] = None,
-            context_item=None) -> list:
-        """Execute; returns the XDM result sequence of iteration 1."""
+            context_item=None, *,
+            context: Optional[ExecutionContext] = None) -> list:
+        """Execute; returns the XDM result sequence of iteration 1.
+
+        Variables and the context item come from the keyword arguments
+        or, when an :class:`ExecutionContext` is given, from it.
+        """
+        if context is not None:
+            variables = variables or context.variables
+            if context_item is None:
+                context_item = context.context_item
         loop = Table(("iter",), [(1,)])
         env: dict[str, Table] = {}
         for name, sequence in (variables or {}).items():

@@ -19,10 +19,11 @@ Originating side highlights:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.engine import Engine, MonetEngine
+from repro.engine.base import Explain
 from repro.errors import DynamicError, TransactionError, XRPCFault
 from repro.net.clock import WallClock
 from repro.net.cost import PeerCostModel
@@ -34,7 +35,7 @@ from repro.rpc.store import DocumentStore
 from repro.soap.marshal import marshal_fingerprint
 from repro.soap.messages import QueryID
 from repro.xquery import xast as A
-from repro.xquery.context import DynamicContext, RemoteCall
+from repro.xquery.context import DynamicContext, ExecutionContext, RemoteCall
 from repro.xquery.evaluator import CompiledQuery, Evaluator
 from repro.xquery.modules import ModuleRegistry
 from repro.xquf.pul import PendingUpdateList, apply_updates
@@ -58,6 +59,21 @@ class QueryResult:
     participants: list[str] = field(default_factory=list)
     used_bulk_rpc: bool = False
     committed_2pc: bool = False
+    # Unified-pipeline telemetry (the session API's explain surface).
+    plan: Optional[str] = None            # "lifted" | "interpreter"
+    fallback_reason: Optional[str] = None
+    compile_seconds: float = 0.0
+    cache_hit: bool = False
+
+    def explain(self) -> Explain:
+        """Plan telemetry in the session API's :class:`Explain` shape."""
+        return Explain(
+            plan=self.plan or "interpreter",
+            fallback_reason=self.fallback_reason,
+            compile_seconds=self.compile_seconds,
+            execute_seconds=self.elapsed_seconds,
+            cache_hit=self.cache_hit,
+        )
 
 
 class XRPCPeer:
@@ -163,9 +179,31 @@ class XRPCPeer:
 
     def execute_query(self, source: str,
                       variables: Optional[dict[str, list]] = None,
-                      force_one_at_a_time: bool = False) -> QueryResult:
-        """Compile and run a query at this peer (the p0 role)."""
-        compiled = self.engine.compile(source)
+                      force_one_at_a_time: bool = False,
+                      try_lifted: bool = True) -> QueryResult:
+        """Compile and run a query at this peer (the p0 role).
+
+        This is the peer face of the unified session API: the compiled
+        query comes from the engine's shared plan cache, the loop-lifted
+        relational plan is tried first (its ``execute at`` groups ship
+        as Bulk RPC straight from the algebra translation, Figure 2) and
+        anything outside the lifted core falls back to the tree
+        interpreter behind the operationally-equivalent batching
+        executor.  Plan choice and fallback reason are recorded on the
+        returned :class:`QueryResult` (see :meth:`QueryResult.explain`).
+
+        The lifted plan ships one message per (call site, destination)
+        *during* evaluation; two query shapes therefore route straight
+        to the batching executor: several ``execute at`` sites (its
+        (destination, function) grouping ships fewer messages) and
+        updating remote calls (it records phase 1 without shipping, so
+        a dynamic lifted bail can never apply an update twice).
+        ``try_lifted=False`` forces the interpreter path outright.
+        """
+        from repro.pathfinder import remote_call_profile
+
+        compiled, compile_seconds, cache_hit = \
+            self.engine.compile_with_stats(source)
 
         isolation = compiled.options.get("xrpc:isolation", "none")
         timeout = int(compiled.options.get("xrpc:timeout", "60"))
@@ -179,10 +217,36 @@ class XRPCPeer:
         started = self.clock.now()
 
         use_bulk = self.engine.bulk_rpc and not force_one_at_a_time
-        if use_bulk:
-            result, pul = self._execute_bulk(compiled, session, variables)
-        else:
-            result, pul = self._execute_direct(compiled, session, variables)
+        context = self._make_execution_context(session, variables,
+                                               try_lifted=use_bulk
+                                               and try_lifted)
+
+        plan = "interpreter"
+        fallback_reason = None
+        result: list = []
+        pul = PendingUpdateList()
+        if context.try_lifted:
+            sites, has_updating = remote_call_profile(compiled)
+            if sites > 1:
+                fallback_reason = (
+                    f"ExecuteAt: {sites} call sites group better through "
+                    "the batching executor")
+            elif has_updating:
+                fallback_reason = (
+                    "ExecuteAt: updating remote calls route through the "
+                    "batching executor (no speculative shipping)")
+            else:
+                lifted, fallback_reason = self.engine.attempt_lifted(
+                    source, compiled, context)
+                if fallback_reason is None:
+                    result = lifted
+                    plan = "lifted"
+        if plan != "lifted":
+            if use_bulk:
+                result, pul = self._execute_bulk(compiled, session, context)
+            else:
+                result, pul = self._execute_direct(compiled, session, context)
+        self.engine.record_plan(plan, fallback_reason)
 
         committed = False
         if query_id is not None and session.participants:
@@ -201,24 +265,61 @@ class XRPCPeer:
             participants=list(session.participants),
             used_bulk_rpc=use_bulk,
             committed_2pc=committed,
+            plan=plan,
+            fallback_reason=fallback_reason,
+            compile_seconds=compile_seconds,
+            cache_hit=cache_hit,
         )
 
-    def _execute_direct(self, compiled: CompiledQuery, session: ClientSession,
-                        variables) -> tuple[list, PendingUpdateList]:
-        resolver = self.make_doc_resolver(self.store, session)
-        return compiled.execute(
-            doc_resolver=resolver,
+    def _make_execution_context(self, session: ClientSession, variables,
+                                try_lifted: bool) -> ExecutionContext:
+        """The peer's :class:`ExecutionContext`: every remote-call hook
+        bound to *session*, engine toggles copied over.
+
+        ``doc_resolver`` carries a per-resolver document cache; phases
+        that must not share it (the bulk executor's replay phase)
+        install a fresh one via :meth:`make_doc_resolver`.
+        """
+        return ExecutionContext(
+            doc_resolver=self.make_doc_resolver(self.store, session),
             variables=variables,
+            dispatch=self._session_dispatch(session),
+            dispatch_parallel=self._session_dispatch_parallel(session),
             xrpc_handler=self._one_at_a_time_handler(session),
             put_store=self.store.put,
-            optimize_joins=self.engine.optimize_flwor_joins,
             accelerator=self.engine.accelerator,
+            optimize_joins=self.engine.optimize_flwor_joins,
+            try_lifted=try_lifted,
+            apply_updates=False,  # the peer applies after (optional) 2PC
         )
+
+    def _session_dispatch(self, session: ClientSession):
+        """Lifted-plan Bulk RPC shipping bound to one client session."""
+        def dispatch(destination, module_uri, location, function, arity,
+                     calls, updating=False) -> list:
+            return session.call(destination, module_uri, location, function,
+                                arity, calls, updating=updating)
+
+        return dispatch
+
+    def _session_dispatch_parallel(self, session: ClientSession):
+        def dispatch_parallel(requests: list) -> list:
+            return session.call_parallel(requests)
+
+        return dispatch_parallel
+
+    def _execute_direct(self, compiled: CompiledQuery, session: ClientSession,
+                        context: ExecutionContext,
+                        ) -> tuple[list, PendingUpdateList]:
+        return compiled.run(replace(
+            context,
+            doc_resolver=self.make_doc_resolver(self.store, session)))
 
     # -- Bulk RPC via loop-lifted batching ---------------------------------
 
     def _execute_bulk(self, compiled: CompiledQuery, session: ClientSession,
-                      variables) -> tuple[list, PendingUpdateList]:
+                      context: ExecutionContext,
+                      ) -> tuple[list, PendingUpdateList]:
         """Two-phase batched execution realising Bulk RPC.
 
         Phase 1 evaluates the query recording every ``execute at`` call
@@ -233,20 +334,18 @@ class XRPCPeer:
         (section 3.2): an ``execute at`` in a for-loop becomes a single
         request per destination carrying all iterations' calls.
         """
-        resolver = self.make_doc_resolver(self.store, session)
         recorder = _CallRecorder()
         try:
-            compiled.execute(
-                doc_resolver=resolver, variables=variables,
-                xrpc_handler=recorder.record, put_store=self.store.put,
-                optimize_joins=self.engine.optimize_flwor_joins,
-                accelerator=self.engine.accelerator)
+            compiled.run(replace(
+                context,
+                doc_resolver=self.make_doc_resolver(self.store, session),
+                xrpc_handler=recorder.record))
             phase1_ok = True
         except Exception:
             phase1_ok = False
 
         if not phase1_ok or not recorder.calls:
-            return self._execute_direct(compiled, session, variables)
+            return self._execute_direct(compiled, session, context)
 
         groups = recorder.groups
 
@@ -277,14 +376,10 @@ class XRPCPeer:
                 continue  # faulted speculative group: re-send directly
             replayer.load(key, group, results)
 
-        return compiled.execute(
+        return compiled.run(replace(
+            context,
             doc_resolver=self.make_doc_resolver(self.store, session),
-            variables=variables,
-            xrpc_handler=replayer.handle,
-            put_store=self.store.put,
-            optimize_joins=self.engine.optimize_flwor_joins,
-            accelerator=self.engine.accelerator,
-        )
+            xrpc_handler=replayer.handle))
 
     # -- 2PC -----------------------------------------------------------------
 

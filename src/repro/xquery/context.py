@@ -52,6 +52,50 @@ class RemoteCall:
     updating: bool = False
 
 
+@dataclass
+class ExecutionContext:
+    """One options object for every prepare/execute surface.
+
+    Historically each entry point grew its own keyword soup —
+    ``doc_resolver`` vs ``xrpc_handler`` vs ``dispatch`` vs
+    ``accelerator``/``optimize_joins`` — with three incompatible
+    remote-call contracts.  This dataclass is the single carrier threaded
+    through :class:`~repro.engine.base.Engine`,
+    :class:`~repro.xquery.evaluator.CompiledQuery`,
+    :class:`~repro.pathfinder.LoopLiftedQuery` and
+    :class:`~repro.rpc.XRPCPeer`; the old keyword signatures remain as
+    thin shims that build one of these.
+
+    The two remote hooks serve the two plan kinds: ``dispatch`` ships a
+    lifted plan's Bulk RPC groups (one call per (destination, function)
+    group, ``dispatch(dest, module_uri, location, function, arity,
+    calls, updating) -> results``), while ``xrpc_handler`` answers the
+    interpreter's one-at-a-time ``execute at`` (takes a
+    :class:`RemoteCall`).  Callers that can serve both — the peer — set
+    both; local sessions leave them ``None`` and queries containing
+    ``execute at`` fall back / fail exactly as before.
+    """
+
+    doc_resolver: Optional[Callable[[str], "DocumentNode"]] = None
+    variables: Optional[dict[str, list]] = None
+    context_item: Any = None
+    dispatch: Optional[Callable[..., list]] = None
+    #: Optional parallel variant of ``dispatch``: takes a list of
+    #: ``(destination, module_uri, location, function, arity, calls,
+    #: updating)`` tuples, returns per-request results in order — lifted
+    #: plans use it to fan bulk messages out to distinct peers at once.
+    dispatch_parallel: Optional[Callable[[list], list]] = None
+    xrpc_handler: Optional[Callable[[RemoteCall], list]] = None
+    put_store: Optional[Callable[[str, Any], None]] = None
+    accelerator: bool = True
+    optimize_joins: bool = True
+    #: Try the loop-lifted relational plan before the tree interpreter.
+    try_lifted: bool = True
+    #: Apply a pending update list as soon as execution finishes (callers
+    #: running 2PC flip this off and apply at commit).
+    apply_updates: bool = True
+
+
 class StaticContext:
     """Namespace environment + function registry of one module/query."""
 

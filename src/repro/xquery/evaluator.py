@@ -54,7 +54,13 @@ from repro.xdm.structural import (
 from repro.xdm.types import xs, type_by_name, is_known_type
 from repro.xquery import xast as A
 from repro.xquery import seqtype
-from repro.xquery.context import DynamicContext, RemoteCall, StaticContext, XS_NS
+from repro.xquery.context import (
+    DynamicContext,
+    ExecutionContext,
+    RemoteCall,
+    StaticContext,
+    XS_NS,
+)
 from repro.xquery.functions import get_builtin
 from repro.xquery.modules import ModuleRegistry
 from repro.xquery.parser import parse_main_module
@@ -592,31 +598,9 @@ class Evaluator:
 
     def _axis_value_index(self, anchor: Node, step: A.AxisStep,
                           key_path: tuple, ctx: DynamicContext) -> dict:
-        """Value index cached on the tree's StructuralIndex.
-
-        The cache key is the anchor's *pre rank* within the current index
-        generation — stable for the index's lifetime (the index pins the
-        tree's nodes, so no ``id()`` reuse) — and any tree mutation
-        replaces the index, dropping stale value indexes with it.
-        """
-        structure = structural_index(anchor.root())
         assert isinstance(step.node_test, A.NameTest)
-        anchor_pre = structure.pre_of.get(id(anchor))
-        cache_key = (anchor_pre, step.axis, step.node_test.prefix,
-                     step.node_test.local, key_path)
-        if anchor_pre is not None:
-            cached = structure.value_indexes.get(cache_key)
-            if cached is not None:
-                return cached
-        index: dict = {}
-        for node in _axis_nodes(anchor, step.axis):
-            if not self._node_test_matches(node, step.node_test, step.axis, ctx):
-                continue
-            for value in _walk_key_path(node, key_path):
-                index.setdefault(value, []).append(node)
-        if anchor_pre is not None:
-            structure.value_indexes[cache_key] = index
-        return index
+        return axis_value_index(anchor, step.axis, step.node_test, key_path,
+                                ctx.static, ctx.constructor_namespaces)
 
     def _apply_predicates(self, items: Sequence, predicates: list[A.Expr],
                           ctx: DynamicContext) -> Sequence:
@@ -1309,6 +1293,39 @@ def _indexable_predicate_key_path(predicate: A.Expr) -> Optional[tuple]:
     return tuple(key)
 
 
+def axis_value_index(anchor: Node, axis: str, node_test: "A.NameTest",
+                     key_path: tuple, static: StaticContext,
+                     constructor_namespaces: Optional[dict] = None) -> dict:
+    """Equality-predicate value index for one (anchor, axis, test, key path).
+
+    Maps each key-path string value to the matching axis nodes — the
+    hash-join probe side of ``step[path = value]``.  Cached on the
+    tree's :class:`~repro.xdm.structural.StructuralIndex` under the
+    anchor's *pre rank* within the current index generation — stable for
+    the index's lifetime (the index pins the tree's nodes, so no
+    ``id()`` reuse) — and any tree mutation replaces the index, dropping
+    stale value indexes with it.  Shared by the interpreter's indexed
+    step and the algebra layer's lifted predicate path.
+    """
+    structure = structural_index(anchor.root())
+    anchor_pre = structure.pre_of.get(id(anchor))
+    cache_key = (anchor_pre, axis, node_test.prefix, node_test.local, key_path)
+    if anchor_pre is not None:
+        cached = structure.value_indexes.get(cache_key)
+        if cached is not None:
+            return cached
+    index: dict = {}
+    for node in _axis_nodes(anchor, axis):
+        if not node_test_matches(node, node_test, axis, static,
+                                 constructor_namespaces):
+            continue
+        for value in _walk_key_path(node, key_path):
+            index.setdefault(value, []).append(node)
+    if anchor_pre is not None:
+        structure.value_indexes[cache_key] = index
+    return index
+
+
 def _walk_key_path(node: Node, key_path: tuple) -> list[str]:
     """Evaluate an indexable key path, returning string values."""
     current = [node]
@@ -1419,21 +1436,42 @@ class CompiledQuery:
         optimize_joins: bool = True,
         accelerator: bool = True,
     ) -> tuple[Sequence, PendingUpdateList]:
+        """Deprecated keyword-style shim over :meth:`run`.
+
+        Prefer ``run(ExecutionContext(...))`` — this signature survives
+        for existing callers and forwards unchanged.
+        """
+        return self.run(ExecutionContext(
+            doc_resolver=doc_resolver,
+            variables=variables,
+            xrpc_handler=xrpc_handler,
+            context_item=context_item,
+            put_store=put_store,
+            optimize_joins=optimize_joins,
+            accelerator=accelerator,
+        ))
+
+    def run(self, context: Optional[ExecutionContext] = None,
+            ) -> tuple[Sequence, PendingUpdateList]:
         """Run the query body; returns (result sequence, pending updates).
 
-        Updates are *not* applied — the caller decides when to invoke
+        *context* carries every execution option (see
+        :class:`~repro.xquery.context.ExecutionContext`).  Updates are
+        *not* applied — the caller decides when to invoke
         ``applyUpdates`` (immediately, or at 2PC commit), mirroring the
         paper's isolation rules.
         """
+        options = context or ExecutionContext()
         if self.ast.body is None:
             raise DynamicError("XPDY0002", "library module has no query body")
-        ctx = DynamicContext(self.static, variables, doc_resolver, xrpc_handler)
+        ctx = DynamicContext(self.static, options.variables,
+                             options.doc_resolver, options.xrpc_handler)
         ctx.pul = PendingUpdateList()
-        ctx.put_store = put_store
-        ctx.optimize_joins = optimize_joins
-        ctx.accelerator = accelerator
-        if context_item is not None:
-            ctx.focus_item = context_item
+        ctx.put_store = options.put_store
+        ctx.optimize_joins = options.optimize_joins
+        ctx.accelerator = options.accelerator
+        if options.context_item is not None:
+            ctx.focus_item = options.context_item
             ctx.focus_position = 1
             ctx.focus_size = 1
         evaluator = Evaluator()

@@ -86,3 +86,47 @@ class TestCLI:
         assert main(["-e", "<a><b>1</b></a>", "--indent"]) == 0
         out = capsys.readouterr().out
         assert "  <b>1</b>" in out
+
+
+class TestExplainAndPlanFlags:
+    def test_explain_reports_lifted_plan(self, films_file, capsys):
+        assert main([
+            "-e", "doc('filmDB.xml')//name",
+            "--doc", f"filmDB.xml={films_file}",
+            "--explain",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "plan: lifted" in captured.err
+        assert "compile:" in captured.err
+        assert "execute:" in captured.err
+        assert "<name>The Rock</name>" in captured.out  # result unpolluted
+
+    def test_explain_reports_fallback_reason(self, films_file, capsys):
+        assert main([
+            "-e", "count(doc('filmDB.xml')//film)",
+            "--doc", f"filmDB.xml={films_file}",
+            "--explain",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "plan: interpreter" in captured.err
+        assert "fallback: FunctionCall:" in captured.err
+        assert captured.out.strip() == "2"
+
+    def test_no_lifted_pins_interpreter(self, films_file, capsys):
+        assert main([
+            "-e", "doc('filmDB.xml')//name",
+            "--doc", f"filmDB.xml={films_file}",
+            "--explain", "--no-lifted",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "plan: interpreter" in captured.err
+        assert "fallback:" not in captured.err  # disabled, not unsupported
+        assert "<name>The Rock</name>" in captured.out
+
+    def test_no_lifted_same_results(self, films_file, capsys):
+        args = ["-e", "doc('filmDB.xml')//name/text()",
+                "--doc", f"filmDB.xml={films_file}"]
+        assert main(args) == 0
+        lifted_out = capsys.readouterr().out
+        assert main(args + ["--no-lifted"]) == 0
+        assert capsys.readouterr().out == lifted_out
