@@ -32,11 +32,13 @@ from repro.xdm.structural import (
 )
 from repro.xquery.evaluator import axis_value_index
 
-#: Axes the algebra layer evaluates as window scans.  The remaining
-#: axes (ancestor, following, preceding, siblings, parent) stay with the
-#: interpreter until they are loop-lifted.
+#: Axes the algebra layer evaluates as window scans: the downward axes
+#: plus ``parent`` (the level−1 ancestor over the index's owner chain).
+#: The remaining axes (ancestor, following, preceding, siblings) stay
+#: with the interpreter until they are loop-lifted.
 LIFTED_AXES = frozenset(
-    ("self", "child", "descendant", "descendant-or-self", "attribute"))
+    ("self", "child", "descendant", "descendant-or-self", "attribute",
+     "parent"))
 
 
 def axis_step(table: Table, axis: str, matches: Callable[[Node], bool],
@@ -127,7 +129,7 @@ def axis_step(table: Table, axis: str, matches: Callable[[Node], bool],
             if pending_index is not None and index is not pending_index:
                 flush()
             pending_index = index
-            pending.append((it, index.pre_of[id(node)]))
+            pending.append((it, index.rank_of(node)))
             continue
         flush()
         # General path: multi-node (or attribute) contexts go through

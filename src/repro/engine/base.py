@@ -29,6 +29,15 @@ class Explain:
     ``UnsupportedExpression`` message — uniformly naming the offending
     AST node type — when a lifted attempt bailed, and ``None`` when the
     plan ran lifted or lifting was disabled by the caller.
+
+    ``reencodes_full`` / ``reencodes_subtree`` / ``gap_respreads`` /
+    ``index_patches`` are *this execution's* deltas of the
+    :data:`~repro.xdm.structural.ENCODING_STATS` counters (taken
+    against the executing thread's totals, so concurrent executions
+    never attribute each other's work) — what the update path actually
+    cost: a splice that stayed on the O(change) fast path counts under
+    ``reencodes_subtree`` + ``index_patches``, while ``reencodes_full``
+    flags the whole-tree fallback.
     """
 
     plan: str
@@ -36,6 +45,10 @@ class Explain:
     compile_seconds: float
     execute_seconds: float
     cache_hit: bool
+    reencodes_full: int = 0
+    reencodes_subtree: int = 0
+    gap_respreads: int = 0
+    index_patches: int = 0
 
     def render(self) -> str:
         """Human-readable one-paragraph form (the CLI's --explain)."""
@@ -45,6 +58,14 @@ class Explain:
         lines.append(f"plan cache: {'hit' if self.cache_hit else 'miss'}")
         lines.append(f"compile: {self.compile_seconds * 1000.0:.3f} ms")
         lines.append(f"execute: {self.execute_seconds * 1000.0:.3f} ms")
+        if (self.reencodes_full or self.reencodes_subtree
+                or self.gap_respreads or self.index_patches):
+            lines.append(
+                "updates: "
+                f"reencode full={self.reencodes_full} "
+                f"subtree={self.reencodes_subtree} "
+                f"respreads={self.gap_respreads} "
+                f"index patches={self.index_patches}")
         return "\n".join(lines)
 
 
@@ -174,6 +195,8 @@ class Engine:
         outcome are recorded in ``last_plan`` / ``last_fallback_reason``
         and returned as the :class:`Explain`.
         """
+        from repro.xdm.structural import ENCODING_STATS
+
         # A missing context inherits the engine's own configuration
         # (the ablation toggles execute_lifted always honored).
         options = context if context is not None else ExecutionContext(
@@ -183,6 +206,18 @@ class Engine:
         self.last_fallback_reason = None
         compiled, compile_seconds, cache_hit = self.compile_with_stats(source)
         started = time.perf_counter()
+        # Thread-local basis: concurrent executions must not attribute
+        # each other's update costs (apply_updates runs synchronously on
+        # this thread, so its bumps land in this thread's counters).
+        encoding_before = ENCODING_STATS.snapshot_local()
+
+        def update_deltas() -> dict:
+            after = ENCODING_STATS.snapshot_local()
+            return {
+                field: after[field] - encoding_before[field]
+                for field in ("reencodes_full", "reencodes_subtree",
+                              "gap_respreads", "index_patches")}
+
         fallback_reason = None
         if options.try_lifted:
             result, fallback_reason = self.attempt_lifted(source, compiled,
@@ -193,17 +228,17 @@ class Engine:
                     plan="lifted", fallback_reason=None,
                     compile_seconds=compile_seconds,
                     execute_seconds=time.perf_counter() - started,
-                    cache_hit=cache_hit)
+                    cache_hit=cache_hit, **update_deltas())
         self.record_plan("interpreter", fallback_reason)
         result, pul = compiled.run(options)
         if pul and options.apply_updates:
             from repro.xquf.pul import apply_updates
-            apply_updates(pul)
+            apply_updates(pul, incremental=options.incremental_updates)
         return result, Explain(
             plan="interpreter", fallback_reason=fallback_reason,
             compile_seconds=compile_seconds,
             execute_seconds=time.perf_counter() - started,
-            cache_hit=cache_hit)
+            cache_hit=cache_hit, **update_deltas())
 
     def attempt_lifted(self, source: str, compiled: CompiledQuery,
                        context: ExecutionContext,

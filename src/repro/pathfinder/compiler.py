@@ -8,8 +8,9 @@ representable (absence of rows).
 Supported core: literals, sequence construction, ranges, variables,
 FLWOR (for/let/where), arithmetic, comparisons, a few row-wise builtins
 (``concat``, ``string``, ``doc``), path expressions over the lifted axes
-(self, child, descendant, descendant-or-self, attribute — evaluated as
-window predicates over the :class:`~repro.xdm.structural.StructuralIndex`
+(self, child, descendant, descendant-or-self, attribute, parent —
+evaluated as window predicates over the
+:class:`~repro.xdm.structural.StructuralIndex`
 pre/size/level columns, see :mod:`repro.algebra.paths`), simple
 non-positional predicates, and ``execute at`` — compiled by the Figure 2
 rule.  Anything else raises :class:`UnsupportedExpression`, signalling

@@ -64,6 +64,12 @@ class QueryResult:
     fallback_reason: Optional[str] = None
     compile_seconds: float = 0.0
     cache_hit: bool = False
+    # Update-path cost of this query's local PUL application (deltas of
+    # the executing thread's ENCODING_STATS, like Engine.execute).
+    reencodes_full: int = 0
+    reencodes_subtree: int = 0
+    gap_respreads: int = 0
+    index_patches: int = 0
 
     def explain(self) -> Explain:
         """Plan telemetry in the session API's :class:`Explain` shape."""
@@ -73,6 +79,10 @@ class QueryResult:
             compile_seconds=self.compile_seconds,
             execute_seconds=self.elapsed_seconds,
             cache_hit=self.cache_hit,
+            reencodes_full=self.reencodes_full,
+            reencodes_subtree=self.reencodes_subtree,
+            gap_respreads=self.gap_respreads,
+            index_patches=self.index_patches,
         )
 
 
@@ -212,9 +222,12 @@ class XRPCPeer:
             query_id = QueryID(host=self.host, timestamp=self.clock.now(),
                                timeout=timeout)
 
+        from repro.xdm.structural import ENCODING_STATS
+
         session = ClientSession(self.transport, origin=self.host,
                                 query_id=query_id)
         started = self.clock.now()
+        encoding_before = ENCODING_STATS.snapshot_local()
 
         use_bulk = self.engine.bulk_rpc and not force_one_at_a_time
         context = self._make_execution_context(session, variables,
@@ -256,6 +269,7 @@ class XRPCPeer:
             for uri in _touched_uris(pul):
                 if self.store.contains(uri):
                     self.store.bump_version(uri)
+        encoding_after = ENCODING_STATS.snapshot_local()
 
         return QueryResult(
             sequence=result,
@@ -269,6 +283,14 @@ class XRPCPeer:
             fallback_reason=fallback_reason,
             compile_seconds=compile_seconds,
             cache_hit=cache_hit,
+            reencodes_full=encoding_after["reencodes_full"]
+            - encoding_before["reencodes_full"],
+            reencodes_subtree=encoding_after["reencodes_subtree"]
+            - encoding_before["reencodes_subtree"],
+            gap_respreads=encoding_after["gap_respreads"]
+            - encoding_before["gap_respreads"],
+            index_patches=encoding_after["index_patches"]
+            - encoding_before["index_patches"],
         )
 
     def _make_execution_context(self, session: ClientSession, variables,

@@ -87,7 +87,16 @@ def to_sequence(value: Any) -> list:
 
 @dataclass
 class DatabaseStats:
-    """Counters of one :class:`Database` (and its engine's caches)."""
+    """Counters of one :class:`Database` (and its engine's caches).
+
+    The ``reencodes_*`` / ``gap_respreads`` / ``index_patches`` /
+    ``index_builds`` fields report the *process-wide*
+    :data:`~repro.xdm.structural.ENCODING_STATS` totals — what the
+    update path has been doing: ``reencodes_subtree`` counts O(change)
+    splices, ``reencodes_full`` the whole-tree fallbacks, and
+    ``index_patches`` in-place :class:`StructuralIndex` maintenance
+    (versus ``index_builds`` full rebuilds).
+    """
 
     plan_cache_hits: int
     plan_cache_misses: int
@@ -98,6 +107,11 @@ class DatabaseStats:
     lifted_executions: int
     interpreter_executions: int
     documents: int
+    reencodes_full: int = 0
+    reencodes_subtree: int = 0
+    gap_respreads: int = 0
+    index_patches: int = 0
+    index_builds: int = 0
 
 
 class PreparedQuery:
@@ -244,7 +258,10 @@ class Database:
             variables=variables, context_item=context_item, **bindings)
 
     def stats(self) -> DatabaseStats:
+        from repro.xdm.structural import ENCODING_STATS
+
         cache = self.engine.cache_stats()
+        encoding = ENCODING_STATS.snapshot()
         with self._stats_lock:
             return DatabaseStats(
                 plan_cache_hits=cache["plan_cache_hits"],
@@ -256,6 +273,11 @@ class Database:
                 lifted_executions=self.lifted_executions,
                 interpreter_executions=self.interpreter_executions,
                 documents=sum(1 for _ in self.store.uris()),
+                reencodes_full=encoding["reencodes_full"],
+                reencodes_subtree=encoding["reencodes_subtree"],
+                gap_respreads=encoding["gap_respreads"],
+                index_patches=encoding["index_patches"],
+                index_builds=encoding["index_builds"],
             )
 
     # -- internals ---------------------------------------------------------

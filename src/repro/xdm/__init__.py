@@ -23,10 +23,16 @@ from repro.xdm.nodes import (
     NodeFactory,
     copy_tree,
 )
+from repro.xdm.nodes import KEY_STRIDE
 from repro.xdm.structural import (
+    ENCODING_STATS,
+    EncodingStats,
     StructuralIndex,
     invalidate_structural_index,
+    reencode_spliced_attributes,
+    reencode_spliced_children,
     reencode_tree,
+    rekey_detached,
     structural_index,
 )
 from repro.xdm.sequence import (
@@ -61,10 +67,16 @@ __all__ = [
     "ProcessingInstructionNode",
     "NodeFactory",
     "copy_tree",
+    "KEY_STRIDE",
+    "ENCODING_STATS",
+    "EncodingStats",
     "StructuralIndex",
     "structural_index",
     "invalidate_structural_index",
+    "reencode_spliced_attributes",
+    "reencode_spliced_children",
     "reencode_tree",
+    "rekey_detached",
     "atomize",
     "effective_boolean_value",
     "string_value",

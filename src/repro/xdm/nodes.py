@@ -25,6 +25,14 @@ from repro.xdm.atomic import AtomicValue, untyped
 _doc_counter = itertools.count(1)
 _doc_counter_lock = threading.Lock()
 
+#: Default spacing between consecutive serials (the *gapped pre-plane*).
+#: Stamping with gaps leaves ``KEY_STRIDE - 1`` unused serials between
+#: neighbouring nodes, so a small XQUF insert usually mints its keys
+#: inside the gap — O(change) — instead of restamping the whole tree.
+#: ``stride=1`` recovers the historical dense encoding (the ablation
+#: baseline of ``bench_incremental_updates``).
+KEY_STRIDE = 32
+
 
 def _next_doc_id() -> int:
     with _doc_counter_lock:
@@ -36,27 +44,40 @@ class NodeFactory:
 
     One factory corresponds to one document (or one constructed fragment
     root): all nodes it makes share a ``doc_id`` and receive increasing
-    serial numbers.  The serial doubles as the node's *pre* rank in the
-    XPath-accelerator encoding; creators that know their depth (the XML
-    parser, ``copy_tree``) pass ``level`` so nodes come out fully
-    pre/size/level-stamped without a post-hoc walk — ``size`` is stamped
-    by the creator once the subtree is complete (see :meth:`issued`).
+    serial numbers.  Serials are spaced ``stride`` apart (gapped
+    pre-plane; see :data:`KEY_STRIDE`) so later inserts can mint
+    in-between keys without restamping neighbours.  The serial is the
+    node's *pre* coordinate in the XPath-accelerator encoding; creators
+    that know their depth (the XML parser, ``copy_tree``) pass ``level``
+    so nodes come out fully pre/size/level-stamped without a post-hoc
+    walk — ``size`` (in serial units: the subtree's descendant window is
+    ``pre < x <= pre + size``, attributes included) is stamped by the
+    creator once the subtree is complete (see :meth:`last_serial`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, stride: Optional[int] = None) -> None:
         self.doc_id = _next_doc_id()
-        self._serial = 0
+        self.stride = KEY_STRIDE if stride is None else max(1, stride)
+        self._next_serial = 0
+        self._issued = 0
 
     def _key(self) -> tuple[int, int]:
-        serial = self._serial
-        self._serial = serial + 1
+        serial = self._next_serial
+        self._next_serial = serial + self.stride
+        self._issued += 1
         return (self.doc_id, serial)
 
     @property
     def issued(self) -> int:
-        """Serials issued so far; an element created at serial ``s`` whose
-        subtree is complete has ``size = factory.issued - s - 1``."""
-        return self._serial
+        """Number of keys issued so far."""
+        return self._issued
+
+    @property
+    def last_serial(self) -> int:
+        """Serial of the most recently issued key (``-1`` before the
+        first); a container created at serial ``s`` whose subtree is
+        complete has ``size = factory.last_serial - s``."""
+        return self._next_serial - self.stride
 
     def document(self, uri: Optional[str] = None,
                  level: int = 0) -> "DocumentNode":
@@ -105,15 +126,18 @@ class Node:
 
     # XPath-accelerator stamps.  ``pre`` is the document-order serial
     # (the same key every document-order comparison in the engine uses);
-    # ``size`` counts the serials issued inside the subtree (attributes
-    # included), so the descendant window is ``pre < x <= pre + size``;
-    # ``level`` is the depth below the construction root.  Stamped in one
-    # pass by the parsers / ``copy_tree`` and restored by
-    # ``reencode_tree`` after updates — this serial-unit encoding is what
-    # the relational pushdown (ROADMAP) compiles window predicates
-    # against.  Axis evaluation itself reads the authoritative per-tree
-    # :class:`~repro.xdm.structural.StructuralIndex`, which also covers
-    # trees assembled without stamps.
+    # serials are *gapped* (see :data:`KEY_STRIDE`), so the only
+    # invariant is strict monotonicity in document order — never
+    # density.  ``size`` is the subtree extent in serial units: every
+    # descendant (attributes included) has ``pre < x <= pre + size``,
+    # and the window may cover unused serials (insert gaps, freed
+    # serials of deleted nodes).  ``level`` is the depth below the
+    # construction root.  Stamped in one pass by the parsers /
+    # ``copy_tree``; after updates the XQUF applier mints in-gap keys
+    # for spliced content (worst case ``reencode_tree``).  Axis
+    # evaluation itself reads the authoritative per-tree
+    # :class:`~repro.xdm.structural.StructuralIndex` (positional pre
+    # ranks), which also covers trees assembled without stamps.
     size: int = 0
     level: int = 0
     # Back-reference to the StructuralIndex that covers this node, set
@@ -505,7 +529,7 @@ def _copy_into(node: Node, factory: NodeFactory, level: int = 0) -> Node:
         source, parent_copy, depth = stack.pop()
         if source is None:
             copy = parent_copy
-            copy.size = factory.issued - copy.order_key[1] - 1
+            copy.size = factory.last_serial - copy.order_key[1]
             continue
         copy = _copy_one(source, factory, depth)
         if result is None:

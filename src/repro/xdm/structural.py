@@ -13,22 +13,104 @@ paths against inside MonetDB/XQuery):
   element pres by tag name — the columns a window scan needs to answer
   ``descendant`` (``pre in (pre, pre+size]``), ``following``
   (``pre > pre+size``) and friends without walking the tree;
-* :func:`reencode_tree` restamps a tree after structural mutation (XQUF
-  PUL application), restoring the dense-serial invariant the window
-  arithmetic and global document order rely on.
+* the *gapped pre-plane*: order-key serials are spaced
+  :data:`~repro.xdm.nodes.KEY_STRIDE` apart, so a small XQUF splice
+  usually mints its keys inside the gap between its document-order
+  neighbours (:func:`reencode_spliced_children` /
+  :func:`reencode_spliced_attributes`) in O(change); when a gap is
+  exhausted, the nearest enclosing region is re-spread
+  (:func:`_respread_region`), and only in the worst case does
+  :func:`reencode_tree` restamp the whole tree;
+* incremental :class:`StructuralIndex` maintenance: the PUL applier
+  splices/evicts rows, patches the tag-name partitions and rekeys or
+  evicts the cached value indexes (``patch_insert`` / ``patch_delete``
+  / ``patch_rename`` / ``patch_content``) instead of the historical
+  stale-flag → full rebuild;
+* :data:`ENCODING_STATS` counts what the update path actually did
+  (``reencodes_full`` / ``reencodes_subtree`` / ``gap_respreads`` /
+  ``index_patches`` …), surfaced through ``Explain`` and
+  ``Database.stats()``.
 
-Index invalidation is O(1) at mutation time: building an index stamps
-every tree node with a back-reference (``_sidx``); the mutating entry
-points (``append``/``set_attribute``/PUL primitives/``n2s`` adoption)
-flip the referenced index's ``stale`` bit when such a stamp is present.
+Index invalidation stays O(1) at mutation time: building an index
+stamps every tree node with a back-reference (``_sidx``); the mutating
+entry points (``append``/``set_attribute``/PUL primitives/``n2s``
+adoption) flip the referenced index's ``stale`` bit when such a stamp
+is present.  The staircase windows below operate on *positional* pre
+ranks (array indices of the index, always dense) — they compare and
+slice, never assume the stamped serials are dense, so sparse order
+keys need no changes there.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+import threading
+from bisect import bisect_left, bisect_right, insort
 from typing import Callable, Iterator, Optional
 
-from repro.xdm.nodes import AttributeNode, ElementNode, Node, _next_doc_id
+from repro.xdm.nodes import (
+    KEY_STRIDE,
+    AttributeNode,
+    ElementNode,
+    Node,
+    _next_doc_id,
+)
+
+
+class EncodingStats:
+    """Process-wide counters of the incremental update machinery.
+
+    ``reencodes_full`` — whole-tree restamps (the worst-case fallback);
+    ``reencodes_subtree`` — splices that only stamped the new content
+    (gap minting) or one enclosing region; ``gap_respreads`` — the
+    subset of those that had to re-spread an enclosing region's keys;
+    ``index_patches`` — in-place :class:`StructuralIndex` row/partition
+    patches; ``index_builds`` — full index (re)builds;
+    ``value_index_evictions`` — cached equality-probe indexes dropped by
+    patches.
+
+    Counters accumulate both process-wide (``snapshot()``, reported by
+    ``Database.stats()``) and per *thread* (``snapshot_local()``):
+    executions may run concurrently (the HTTP daemon is threaded), so
+    per-execution deltas in ``Explain`` are taken against the executing
+    thread's counters — overlapping executions cannot attribute each
+    other's update costs.
+    """
+
+    FIELDS = ("reencodes_full", "reencodes_subtree", "gap_respreads",
+              "index_patches", "index_builds", "value_index_evictions")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def bump(self, field: str, count: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + count)
+        local = self._local.__dict__  # thread-local: no lock needed
+        local[field] = local.get(field, 0) + count
+
+    def snapshot(self) -> dict[str, int]:
+        """Process-wide totals."""
+        with self._lock:
+            return {field: getattr(self, field) for field in self.FIELDS}
+
+    def snapshot_local(self) -> dict[str, int]:
+        """The calling thread's totals (per-execution delta basis)."""
+        local = self._local.__dict__
+        return {field: local.get(field, 0) for field in self.FIELDS}
+
+    def reset(self) -> None:
+        with self._lock:
+            for field in self.FIELDS:
+                setattr(self, field, 0)
+        self._local.__dict__.clear()
+
+
+#: The process-wide counter instance (updates may run from any thread;
+#: the RPC server applies PULs on worker threads).
+ENCODING_STATS = EncodingStats()
 
 
 class StructuralIndex:
@@ -86,6 +168,291 @@ class StructuralIndex:
         self.sizes = sizes
         self.levels = levels
         self.pre_of = pre_of
+        ENCODING_STATS.bump("index_builds")
+
+    # -- rank lookup (self-healing) ----------------------------------------
+    #
+    # ``pre_of`` is a *cache* of node → positional rank, complete after a
+    # build.  Row splices do NOT eagerly renumber the tail (that would
+    # make every patch O(doc)); instead each lookup validates its cached
+    # rank against the node array (``nodes[rank] is node``) and lazily
+    # re-resolves through an order-key bisect when a splice shifted it.
+    # Read-only workloads always hit; after an update only the ranks a
+    # query actually touches pay the O(log n) repair.
+
+    def rank_of(self, node: Node) -> int:
+        """Positional pre rank of *node*; raises KeyError when the node
+        is not a ranked row of this index (e.g. an attribute)."""
+        rank = self.rank_of_opt(node)
+        if rank is None:
+            raise KeyError(node)
+        return rank
+
+    def rank_of_opt(self, node: Node) -> Optional[int]:
+        """Like :meth:`rank_of`, but ``None`` for unranked nodes."""
+        nodes = self.nodes
+        rank = self.pre_of.get(id(node))
+        if rank is not None and rank < len(nodes) and nodes[rank] is node:
+            return rank
+        if isinstance(node, AttributeNode):
+            return None  # attributes are never ranked: no O(n) fallback
+        rank = self._resolve_rank(node)
+        if rank is not None:
+            self.pre_of[id(node)] = rank
+        return rank
+
+    def _resolve_rank(self, node: Node) -> Optional[int]:
+        """Bisect the node array by order key (monotone in rank for
+        every tree the incremental path maintains), with a linear scan
+        as the safety net for hand-assembled non-monotone trees."""
+        nodes = self.nodes
+        key = node.order_key
+        low, high = 0, len(nodes)
+        while low < high:
+            mid = (low + high) // 2
+            if nodes[mid].order_key < key:
+                low = mid + 1
+            else:
+                high = mid
+        if low < len(nodes) and nodes[low] is node:
+            return low
+        for rank, candidate in enumerate(nodes):
+            if candidate is node:
+                return rank
+        return None
+
+    # -- incremental maintenance -------------------------------------------
+    #
+    # The XQUF applier keeps a live index consistent across a PUL by
+    # splicing/evicting rows at the mutation point instead of letting the
+    # stale flag force a full rebuild.  All patches work on *positional*
+    # pre ranks; the gapped order-key serials never enter here.  Every
+    # patch returns False when it cannot locate its splice point (node
+    # not covered by this index) — the caller stale-marks and falls back.
+
+    def patch_insert(self, parent: Node, roots: list[Node]) -> bool:
+        """Splice freshly inserted subtrees into the columns.
+
+        *roots* are contiguous new children of *parent*, already present
+        in its child list.  Rows are inserted at the run's document
+        position, ancestor subtree sizes grow, the tag partitions shift,
+        and value indexes anchored on an ancestor are evicted (their
+        member lists may now be missing the new nodes).
+        """
+        parent_pre = self.rank_of_opt(parent)
+        if parent_pre is None:
+            return False
+        if not roots:
+            return True
+        siblings = parent.children
+        first = _identity_index(siblings, roots[0])
+        if first is None:
+            return False
+        if first == 0:
+            pos = parent_pre + 1
+        else:
+            prev_pre = self.rank_of_opt(siblings[first - 1])
+            if prev_pre is None:
+                return False
+            pos = prev_pre + self.sizes[prev_pre] + 1
+        new_nodes: list[Node] = []
+        new_sizes: list[int] = []
+        new_levels: list[int] = []
+        base_level = self.levels[parent_pre] + 1
+        for root in roots:
+            offset = len(new_nodes)
+            new_nodes.append(root)
+            new_sizes.append(0)
+            new_levels.append(base_level)
+            root._sidx = self
+            for attribute in root.attributes:
+                attribute._sidx = self
+            stack: list[tuple[int, Iterator[Node]]] = [
+                (offset, iter(root.children))]
+            while stack:
+                parent_offset, children = stack[-1]
+                child = next(children, None)
+                if child is None:
+                    stack.pop()
+                    new_sizes[parent_offset] = \
+                        len(new_nodes) - parent_offset - 1
+                    continue
+                child_offset = len(new_nodes)
+                new_nodes.append(child)
+                new_sizes.append(0)
+                new_levels.append(new_levels[parent_offset] + 1)
+                child._sidx = self
+                for attribute in child.attributes:
+                    attribute._sidx = self
+                stack.append((child_offset, iter(child.children)))
+        count = len(new_nodes)
+        self.nodes[pos:pos] = new_nodes
+        self.sizes[pos:pos] = new_sizes
+        self.levels[pos:pos] = new_levels
+        evict: set[int] = set()
+        ancestor: Optional[Node] = parent
+        while ancestor is not None:
+            ancestor_pre = self.rank_of(ancestor)
+            self.sizes[ancestor_pre] += count
+            evict.add(ancestor_pre)
+            ancestor = ancestor.parent
+        new_elements = [
+            (pos + offset, node.local_name)
+            for offset, node in enumerate(new_nodes)
+            if isinstance(node, ElementNode)]
+        self._patch_partitions(pos, count, new_elements)
+        self._patch_value_indexes(pos, count, evict)
+        ENCODING_STATS.bump("index_patches")
+        return True
+
+    def patch_delete(self, target: Node) -> bool:
+        """Evict the rows of *target*'s subtree.
+
+        Must run while *target* is still attached — ancestor sizes are
+        reached through its parent chain.  The gapped key plane needs no
+        key work for deletes (freed serials simply become gaps).
+        """
+        pre_of = self.pre_of
+        pos = self.rank_of_opt(target)
+        if pos is None:
+            return False
+        count = self.sizes[pos] + 1
+        for node in self.nodes[pos:pos + count]:
+            pre_of.pop(id(node), None)
+            if node._sidx is self:
+                node._sidx = None
+            for attribute in node.attributes:
+                if attribute._sidx is self:
+                    attribute._sidx = None
+        evict: set[int] = set()
+        ancestor = target.parent
+        while ancestor is not None:
+            ancestor_pre = self.rank_of(ancestor)
+            self.sizes[ancestor_pre] -= count
+            evict.add(ancestor_pre)
+            ancestor = ancestor.parent
+        del self.nodes[pos:pos + count]
+        del self.sizes[pos:pos + count]
+        del self.levels[pos:pos + count]
+        self._patch_partitions(pos, -count)
+        self._patch_value_indexes(pos, -count, evict)
+        ENCODING_STATS.bump("index_patches")
+        return True
+
+    def patch_rename(self, node: Node, old_local: Optional[str]) -> bool:
+        """Re-partition one renamed element (or an attribute's owner)."""
+        if isinstance(node, AttributeNode):
+            return self.patch_content(node)
+        pos = self.rank_of_opt(node)
+        if pos is None:
+            return False
+        by_name = self._by_name
+        if by_name is not None and isinstance(node, ElementNode):
+            old = by_name.get(old_local)
+            if old is not None:
+                index = bisect_left(old, pos)
+                if index < len(old) and old[index] == pos:
+                    old.pop(index)
+            insort(by_name.setdefault(node.local_name, []), pos)
+        self._evict_covering(pos)
+        ENCODING_STATS.bump("index_patches")
+        return True
+
+    def patch_content(self, node: Node) -> bool:
+        """A value-only mutation (replace value, attribute set/remove):
+        rows and order keys stay valid; only value indexes probing
+        through the node can be stale."""
+        anchor = node.parent if isinstance(node, AttributeNode) else node
+        if anchor is None:
+            return False
+        pos = self.rank_of_opt(anchor)
+        if pos is None:
+            return False
+        self._evict_covering(pos)
+        ENCODING_STATS.bump("index_patches")
+        return True
+
+    def patch_attributes(self, owner: Node,
+                         attrs: list[Node] = ()) -> bool:
+        """Attribute-table change on *owner* (insert/replace/delete).
+
+        Attributes are not ranked, so no rows move; new attributes are
+        stamped with this index's back-reference and value indexes
+        covering the owner are evicted.
+        """
+        pos = self.rank_of_opt(owner)
+        if pos is None:
+            return False
+        for attribute in attrs:
+            attribute._sidx = self
+        self._evict_covering(pos)
+        ENCODING_STATS.bump("index_patches")
+        return True
+
+    def _patch_partitions(self, pos: int, delta: int,
+                          new_elements: list[tuple[int, str]] = ()) -> None:
+        """Shift the tag-name partitions across a row splice at *pos*
+        (``delta`` rows inserted, or ``-delta`` rows removed from
+        ``[pos, pos - delta)``) and register new element ranks.  Each
+        list is sorted, so only its suffix past the splice is touched."""
+        by_name = self._by_name
+        if by_name is None:
+            return
+        if delta > 0:
+            for pres in by_name.values():
+                start = bisect_left(pres, pos)
+                if start < len(pres):
+                    pres[start:] = [q + delta for q in pres[start:]]
+        elif delta < 0:
+            cut = pos - delta
+            for pres in by_name.values():
+                low = bisect_left(pres, pos)
+                if low == len(pres):
+                    continue
+                high = bisect_left(pres, cut, low)
+                pres[low:] = [q + delta for q in pres[high:]]
+        for pre, name in new_elements:
+            insort(by_name.setdefault(name, []), pre)
+
+    def _patch_value_indexes(self, pos: int, delta: int,
+                             evict: set[int]) -> None:
+        """Rekey value-index anchors across a row splice and evict the
+        entries whose anchor subtree covered the mutation (*evict* holds
+        those anchors' — the change's ancestors' — pre ranks)."""
+        if not self.value_indexes:
+            return
+        removed_end = pos - delta if delta < 0 else pos
+        kept: dict = {}
+        evicted = 0
+        for key, value_index in self.value_indexes.items():
+            anchor = key[0]
+            if anchor in evict or pos <= anchor < removed_end:
+                evicted += 1
+                continue
+            if anchor >= pos:
+                key = (anchor + delta,) + key[1:]
+            kept[key] = value_index
+        self.value_indexes = kept
+        if evicted:
+            ENCODING_STATS.bump("value_index_evictions", evicted)
+
+    def _evict_covering(self, pos: int) -> None:
+        """Evict value indexes whose anchor is an ancestor-or-self of
+        rank *pos* (the only anchors whose probe values can reach it)."""
+        if not self.value_indexes:
+            return
+        sizes = self.sizes
+        kept: dict = {}
+        evicted = 0
+        for key, value_index in self.value_indexes.items():
+            anchor = key[0]
+            if anchor <= pos <= anchor + sizes[anchor]:
+                evicted += 1
+                continue
+            kept[key] = value_index
+        self.value_indexes = kept
+        if evicted:
+            ENCODING_STATS.bump("value_index_evictions", evicted)
 
     # -- tag-name partition ------------------------------------------------
 
@@ -130,7 +497,7 @@ class StructuralIndex:
         result: list[int] = []
         node = self.nodes[pre].parent
         while node is not None:
-            result.append(self.pre_of[id(node)])
+            result.append(self.rank_of(node))
             node = node.parent
         return result
 
@@ -159,47 +526,273 @@ def invalidate_structural_index(node: Node) -> None:
         index.stale = True
 
 
-def reencode_tree(root: Node) -> None:
-    """Restamp ``order_key`` / ``size`` / ``level`` over a mutated tree.
+def reencode_tree(root: Node, stride: Optional[int] = None) -> None:
+    """Restamp ``order_key`` / ``size`` / ``level`` over a whole tree.
 
-    XQUF updates splice in nodes minted by other factories, breaking the
-    invariant that serials are dense and increasing in document order
-    (inserted nodes would globally sort by their construction key, not
-    their tree position).  One pre-order pass re-keys the whole tree
-    under a fresh ``doc_id`` — attributes are stamped directly after
-    their owner, exactly like the parsers do — and invalidates any
-    cached structural index.
+    The worst-case fallback of the update path (and the repair pass for
+    hand-assembled trees whose keys are not monotone): one pre-order
+    pass re-keys the whole tree under a fresh ``doc_id`` — attributes
+    are stamped directly after their owner, exactly like the parsers do
+    — and invalidates any cached structural index.  Keys are re-issued
+    *with gaps* (``stride``, default :data:`~repro.xdm.nodes.KEY_STRIDE`)
+    so subsequent small updates return to the O(change) fast path.
     """
+    step = KEY_STRIDE if stride is None else max(1, stride)
     invalidate_structural_index(root)
-    doc_id = _next_doc_id()
-    serial = 0
-    root.order_key = (doc_id, serial)
+    _restamp_tree(root, _next_doc_id(), step)
+    ENCODING_STATS.bump("reencodes_full")
+
+
+def rekey_detached(root: Node) -> None:
+    """Restamp a subtree an update just detached under a fresh doc id.
+
+    A delete frees its serials into the source tree's gap plane, where
+    a later insert may mint them again — so a held reference to the
+    detached node must not keep its old key, or two distinct nodes
+    could compare as the same document position.  Restamping the
+    detached fragment (O(detached), part of the change) preserves the
+    process-wide uniqueness of order keys, exactly like ``copy_tree``
+    fragments and the historical full re-encode did.
+    """
+    _restamp_tree(root, _next_doc_id(), KEY_STRIDE)
+
+
+def _restamp_tree(root: Node, doc_id: int, step: int) -> None:
+    """One pre-order restamp pass over *root*'s whole subtree."""
+    root.order_key = (doc_id, 0)
     root.level = 0
-    for attribute in root.attributes:
-        serial += 1
+    serial = _stamp_attributes(root.attributes, doc_id, 0, step, 1)
+    root.size = _stamp_run(root.children, doc_id, serial, step, 1)
+
+
+# -- O(change) re-encoding: gap minting and region respreads ---------------
+
+
+def _identity_index(nodes_list: list, target: Node) -> Optional[int]:
+    """Position of *target* (by identity) in a sibling list, or None —
+    works even while *target* carries a foreign, non-monotone key."""
+    for index, node in enumerate(nodes_list):
+        if node is target:
+            return index
+    return None
+
+
+def subtree_key_count(node: Node) -> int:
+    """Number of order keys a subtree occupies (attributes included)."""
+    count = 0
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        count += 1 + len(current.attributes)
+        stack.extend(current.children)
+    return count
+
+
+def _next_key_after(node: Node) -> Optional[tuple[int, int]]:
+    """Order key of the first node *after* node's subtree in document
+    order, or ``None`` when the subtree ends the document."""
+    current = node
+    while True:
+        parent = current.parent
+        if parent is None:
+            return None
+        siblings = parent.children
+        index = _identity_index(siblings, current)
+        if index is not None and index + 1 < len(siblings):
+            return siblings[index + 1].order_key
+        current = parent
+
+
+def _stamp_attributes(attrs: list, doc_id: int, serial: int, step: int,
+                      level: int) -> int:
+    """Stamp an attribute run (keys directly after their owner, size 0),
+    invalidating each attribute's previous index back-reference;
+    returns the last serial issued."""
+    for attribute in attrs:
+        serial += step
         attribute.order_key = (doc_id, serial)
-        attribute.level = 1
+        attribute.level = level
         attribute.size = 0
         invalidate_structural_index(attribute)
-    stack: list[tuple[Node, Iterator[Node]]] = [(root, iter(root.children))]
-    while stack:
-        parent, children = stack[-1]
-        child = next(children, None)
-        if child is None:
-            stack.pop()
-            parent.size = serial - parent.order_key[1]
-            continue
-        invalidate_structural_index(child)
-        serial += 1
-        child.order_key = (doc_id, serial)
-        child.level = parent.level + 1
-        for attribute in child.attributes:
-            serial += 1
-            attribute.order_key = (doc_id, serial)
-            attribute.level = child.level + 1
-            attribute.size = 0
-            invalidate_structural_index(attribute)
-        stack.append((child, iter(child.children)))
+    return serial
+
+
+def _stamp_run(roots: list[Node], doc_id: int, prev_serial: int,
+               step: int, base_level: int) -> int:
+    """Preorder-restamp sibling subtrees with serials ``prev_serial +
+    step, + 2*step, ...`` (attributes directly after their owner);
+    returns the last serial issued (``prev_serial`` for an empty run).
+    Every stamped node's previous index back-reference is invalidated.
+    """
+    serial = prev_serial
+    for root in roots:
+        invalidate_structural_index(root)
+        serial += step
+        root.order_key = (doc_id, serial)
+        root.level = base_level
+        serial = _stamp_attributes(root.attributes, doc_id, serial, step,
+                                   base_level + 1)
+        stack: list[tuple[Node, Iterator[Node]]] = [(root, iter(root.children))]
+        while stack:
+            parent, children = stack[-1]
+            child = next(children, None)
+            if child is None:
+                stack.pop()
+                parent.size = serial - parent.order_key[1]
+                continue
+            invalidate_structural_index(child)
+            serial += step
+            child.order_key = (doc_id, serial)
+            child.level = parent.level + 1
+            serial = _stamp_attributes(child.attributes, doc_id, serial,
+                                       step, child.level + 1)
+            stack.append((child, iter(child.children)))
+    return serial
+
+
+def _bump_ancestor_sizes(node: Optional[Node], last_serial: int,
+                         doc_id: int) -> None:
+    """Extend the serial-unit subtree extents on *node* and its
+    ancestors so freshly minted serials up to *last_serial* fall inside
+    their descendant windows (only needed for end-of-subtree splices,
+    where the gap borrowed room from an ancestor's envelope)."""
+    while node is not None:
+        if node.order_key[0] == doc_id:
+            extent = last_serial - node.order_key[1]
+            if extent > node.size:
+                node.size = extent
+        node = node.parent
+
+
+def _respread_region(region: Node) -> bool:
+    """Re-spread every key inside *region*'s subtree evenly across its
+    serial envelope ``(region.serial, next-key-after-region)`` — the
+    local recovery when a splice gap is exhausted.  Region's own key is
+    kept.  Returns False when even the envelope is too small (the
+    caller climbs towards the root)."""
+    prev_key = region.order_key
+    needed = subtree_key_count(region) - 1
+    next_key = _next_key_after(region)
+    if next_key is None:
+        step = KEY_STRIDE
+    else:
+        if next_key[0] != prev_key[0] or next_key[1] - prev_key[1] <= needed:
+            return False
+        step = (next_key[1] - prev_key[1]) // (needed + 1)
+    doc_id = prev_key[0]
+    serial = _stamp_attributes(region.attributes, doc_id, prev_key[1],
+                               step, region.level + 1)
+    last = _stamp_run(region.children, doc_id, serial, step,
+                      region.level + 1)
+    region.size = last - prev_key[1]
+    _bump_ancestor_sizes(region.parent, last, doc_id)
+    return True
+
+
+def _climb_respread(start: Node) -> str:
+    """Gap exhausted at *start*: re-spread the nearest enclosing region
+    with room, falling back to a whole-tree re-encode at the root."""
+    region = start
+    while region.parent is not None:
+        if _respread_region(region):
+            ENCODING_STATS.bump("gap_respreads")
+            ENCODING_STATS.bump("reencodes_subtree")
+            return "respread"
+        region = region.parent
+    reencode_tree(region)
+    return "full"
+
+
+def reencode_spliced_children(parent: Node, roots: list[Node]) -> str:
+    """Mint order keys for subtrees freshly spliced under *parent*.
+
+    Fast path: the run's keys fit in the serial gap between its
+    document-order neighbours, so *only the new nodes* are stamped —
+    O(inserted) regardless of document size (``"subtree"``).  When the
+    gap is exhausted (or the boundary keys are unusable — foreign
+    doc ids, non-monotone hand-built trees), the nearest enclosing
+    region is re-spread (``"respread"``); at the very worst the whole
+    tree is re-encoded (``"full"``).  Returns which path ran.
+
+    O(change) necessarily trusts the keys it does not look at: a tree
+    whose existing keys are monotone (everything the parsers,
+    ``copy_tree``, the constructors and ``reencode_tree`` produce)
+    stays monotone, but pre-existing disorder far from the splice point
+    is *not* repaired here — axis evaluation is unaffected (it reads
+    the positional index), and :func:`reencode_tree` remains the
+    explicit repair pass.
+    """
+    if not roots:
+        return "subtree"
+    siblings = parent.children
+    first = _identity_index(siblings, roots[0])
+    last_index = _identity_index(siblings, roots[-1])
+    if first is None or last_index is None:
+        reencode_tree(parent.root())
+        return "full"
+    if first == 0:
+        attrs = parent.attributes
+        prev_key = attrs[-1].order_key if attrs else parent.order_key
+    else:
+        prev_sibling = siblings[first - 1]
+        prev_key = (prev_sibling.order_key[0],
+                    prev_sibling.order_key[1] + prev_sibling.size)
+    if last_index + 1 < len(siblings):
+        next_key: Optional[tuple] = siblings[last_index + 1].order_key
+    else:
+        next_key = _next_key_after(parent)
+    doc_id = prev_key[0]
+    needed = sum(subtree_key_count(root) for root in roots)
+    if next_key is None:
+        step = KEY_STRIDE
+    elif next_key[0] == doc_id and next_key[1] - prev_key[1] > needed:
+        step = (next_key[1] - prev_key[1]) // (needed + 1)
+    else:
+        return _climb_respread(parent)
+    last = _stamp_run(roots, doc_id, prev_key[1], step, parent.level + 1)
+    _bump_ancestor_sizes(parent, last, doc_id)
+    ENCODING_STATS.bump("reencodes_subtree")
+    return "subtree"
+
+
+def reencode_spliced_attributes(owner: Node, attrs: list[Node]) -> str:
+    """Mint order keys for attributes freshly added to *owner*.
+
+    Attribute keys live between the owner (plus its prior attributes)
+    and the owner's first child, so the XDM rule "attributes sort after
+    their element, before its children" keeps holding under global
+    document-order merges.  Same gap → respread → full ladder as
+    :func:`reencode_spliced_children`.
+    """
+    if not attrs:
+        return "subtree"
+    existing = owner.attributes
+    first = _identity_index(existing, attrs[0])
+    last_index = _identity_index(existing, attrs[-1])
+    if first is None or last_index is None:
+        reencode_tree(owner.root())
+        return "full"
+    prev_key = existing[first - 1].order_key if first > 0 \
+        else owner.order_key
+    if last_index + 1 < len(existing):
+        next_key: Optional[tuple] = existing[last_index + 1].order_key
+    elif owner.children:
+        next_key = owner.children[0].order_key
+    else:
+        next_key = _next_key_after(owner)
+    doc_id = prev_key[0]
+    needed = len(attrs)
+    if next_key is None:
+        step = KEY_STRIDE
+    elif next_key[0] == doc_id and next_key[1] - prev_key[1] > needed:
+        step = (next_key[1] - prev_key[1]) // (needed + 1)
+    else:
+        return _climb_respread(owner)
+    serial = _stamp_attributes(attrs, doc_id, prev_key[1], step,
+                               owner.level + 1)
+    _bump_ancestor_sizes(owner, serial, doc_id)
+    ENCODING_STATS.bump("reencodes_subtree")
+    return "subtree"
 
 
 def staircase_prune(sorted_pres: list[int], sizes: list[int]) -> list[int]:
@@ -232,7 +825,7 @@ def split_context(index: StructuralIndex,
     separate attribute table), so window scans take sorted unique context
     pres plus the attribute members to route through their owners.
     """
-    pre_of = index.pre_of
+    rank_of = index.rank_of
     pres_seen: set[int] = set()
     ctx_pres: list[int] = []
     attr_seen: set[int] = set()
@@ -243,7 +836,7 @@ def split_context(index: StructuralIndex,
                 attr_seen.add(id(node))
                 attr_members.append(node)
         else:
-            pre = pre_of[id(node)]
+            pre = rank_of(node)
             if pre not in pres_seen:
                 pres_seen.add(pre)
                 ctx_pres.append(pre)
@@ -278,7 +871,7 @@ def axis_window_scan(index: StructuralIndex, axis: str,
     """
     nodes = index.nodes
     sizes = index.sizes
-    pre_of = index.pre_of
+    rank_of = index.rank_of
 
     if axis == "attribute":
         out_attrs: list[Node] = []
@@ -290,7 +883,7 @@ def axis_window_scan(index: StructuralIndex, axis: str,
 
     # Attribute context nodes: upward/order axes go through the owner
     # element; self-including axes contribute the attribute itself.
-    owner_pres = [pre_of[id(a.parent)] for a in attr_members
+    owner_pres = [rank_of(a.parent) for a in attr_members
                   if a.parent is not None]
     extra: list[Node] = []
     if axis in ("self", "descendant-or-self", "ancestor-or-self"):
@@ -331,7 +924,7 @@ def axis_window_scan(index: StructuralIndex, axis: str,
         for p in ctx_pres:
             parent = nodes[p].parent
             if parent is not None:
-                parent_set.add(pre_of[id(parent)])
+                parent_set.add(rank_of(parent))
         out_pres = sorted(parent_set)
     elif axis in ("ancestor", "ancestor-or-self"):
         ancestor_set: set[int] = set()
@@ -339,7 +932,7 @@ def axis_window_scan(index: StructuralIndex, axis: str,
         chains.extend(a.parent for a in attr_members)
         for node in chains:
             while node is not None:
-                q = pre_of[id(node)]
+                q = rank_of(node)
                 if q in ancestor_set:
                     break  # staircase early exit: chain already seen
                 ancestor_set.add(q)
@@ -353,7 +946,7 @@ def axis_window_scan(index: StructuralIndex, axis: str,
             parent = nodes[p].parent
             if parent is None:
                 continue
-            pp = pre_of[id(parent)]
+            pp = rank_of(parent)
             if axis == "following-sibling":
                 q = p + sizes[p] + 1
                 end = pp + sizes[pp]
@@ -392,10 +985,13 @@ def axis_window_scan(index: StructuralIndex, axis: str,
     return out_nodes
 
 
-#: The downward axes :func:`axis_scan_batched` supports — declared next
-#: to the implementation so callers gating on it cannot drift.
+#: The axes :func:`axis_scan_batched` supports — declared next to the
+#: implementation so callers gating on it cannot drift.  Downward axes
+#: plus ``parent`` (the level−1 ancestor: exactly one row per context,
+#: so single-node contexts need no staircase pruning either).
 BATCHED_AXES = frozenset(
-    ("self", "child", "descendant", "descendant-or-self", "attribute"))
+    ("self", "child", "descendant", "descendant-or-self", "attribute",
+     "parent"))
 
 
 def axis_scan_batched(index: StructuralIndex, axis: str,
@@ -413,8 +1009,8 @@ def axis_scan_batched(index: StructuralIndex, axis: str,
     :func:`axis_window_scan` the algebra layer uses for the
     overwhelmingly common one-context-per-iteration plans.
 
-    Downward axes only: a single context node needs no staircase
-    pruning, so each context's window scan is independent.
+    Downward axes plus ``parent`` only: a single context node needs no
+    staircase pruning, so each context's scan is independent.
     """
     nodes = index.nodes
     sizes = index.sizes
@@ -429,6 +1025,14 @@ def axis_scan_batched(index: StructuralIndex, axis: str,
             node = nodes[p]
             if match_all or matches(node):
                 out.append((tag, node))
+    elif axis == "parent":
+        # The level−1 ancestor: the nearest q < p with
+        # levels[q] == levels[p] − 1, reached in O(1) through the
+        # owner chain the index maintains.
+        for tag, p in pairs:
+            parent = nodes[p].parent
+            if parent is not None and (match_all or matches(parent)):
+                out.append((tag, parent))
     elif axis == "child":
         levels = index.levels
         if local_name is not None:
@@ -474,7 +1078,7 @@ def axis_scan_batched(index: StructuralIndex, axis: str,
                     if match_all or matches(node):
                         out.append((tag, node))
     else:  # pragma: no cover - callers restrict axes
-        raise ValueError(f"axis {axis} is not a batched downward axis")
+        raise ValueError(f"axis {axis} is not a batched axis")
     return out
 
 

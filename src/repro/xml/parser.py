@@ -108,9 +108,10 @@ class _Scanner:
 
 
 class _Parser:
-    def __init__(self, text: str, uri: Optional[str]) -> None:
+    def __init__(self, text: str, uri: Optional[str],
+                 stride: Optional[int] = None) -> None:
         self.scanner = _Scanner(text)
-        self.factory = NodeFactory()
+        self.factory = NodeFactory(stride=stride)
         self.uri = uri
 
     # -- entry points ------------------------------------------------------
@@ -138,8 +139,9 @@ class _Parser:
             else:
                 raise scanner.error("content after document element")
         # pre/size/level stamping completes within the parse pass itself:
-        # the document's extent is simply every serial issued after it.
-        document.size = self.factory.issued - 1
+        # the document's extent (in serial units — serials are gapped)
+        # reaches to the last serial issued inside it.
+        document.size = self.factory.last_serial - document.order_key[1]
         return document
 
     # -- prolog -------------------------------------------------------------
@@ -216,8 +218,8 @@ class _Parser:
                         f"found </{closing}>")
                 scanner.skip_whitespace()
                 scanner.expect(">")
-                # Subtree complete: extent is every serial issued since.
-                element.size = self.factory.issued - element.order_key[1] - 1
+                # Subtree complete: extent reaches the last issued serial.
+                element.size = self.factory.last_serial - element.order_key[1]
                 stack.pop()
             elif scanner.startswith("<!--"):
                 flush_text()
@@ -297,7 +299,7 @@ class _Parser:
                 attr_name, value, ns_uri, level=level + 1))
 
         if scanner.startswith("/>"):
-            element.size = self.factory.issued - element.order_key[1] - 1
+            element.size = self.factory.last_serial - element.order_key[1]
             scanner.advance(2)
             return element, scope, True
         scanner.expect(">")
@@ -360,7 +362,8 @@ class _Parser:
         return None
 
 
-def parse_document(text: str, uri: Optional[str] = None) -> DocumentNode:
+def parse_document(text: str, uri: Optional[str] = None,
+                   stride: Optional[int] = None) -> DocumentNode:
     """Parse a complete XML document into an XDM document node.
 
     Parameters
@@ -370,10 +373,14 @@ def parse_document(text: str, uri: Optional[str] = None) -> DocumentNode:
     uri:
         Optional document URI recorded on the document node (what
         ``fn:document-uri`` would return).
+    stride:
+        Order-key spacing (defaults to
+        :data:`repro.xdm.nodes.KEY_STRIDE`); ``1`` produces the dense
+        historical encoding — kept as the update-benchmark ablation.
     """
     if isinstance(text, bytes):
         text = text.decode("utf-8")
-    return _Parser(text, uri).parse_document()
+    return _Parser(text, uri, stride=stride).parse_document()
 
 
 def parse_fragment(text: str) -> ElementNode:

@@ -94,6 +94,11 @@ class ExecutionContext:
     #: Apply a pending update list as soon as execution finishes (callers
     #: running 2PC flip this off and apply at commit).
     apply_updates: bool = True
+    #: Re-encode only each update's splice region on the gapped
+    #: order-key plane and patch the StructuralIndex in place (O(change)
+    #: updates).  ``False`` restores the full-restamp baseline — the
+    #: update-benchmark ablation.
+    incremental_updates: bool = True
 
 
 class StaticContext:

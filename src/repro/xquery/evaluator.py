@@ -549,7 +549,7 @@ class Evaluator:
             node = owner  # following/preceding go through the owner
         nodes = index.nodes
         sizes = index.sizes
-        p = index.pre_of[id(node)]
+        p = index.rank_of(node)
         if axis == "descendant":
             return nodes[p + 1:p + sizes[p] + 1]
         if axis == "descendant-or-self":
@@ -1308,7 +1308,7 @@ def axis_value_index(anchor: Node, axis: str, node_test: "A.NameTest",
     step and the algebra layer's lifted predicate path.
     """
     structure = structural_index(anchor.root())
-    anchor_pre = structure.pre_of.get(id(anchor))
+    anchor_pre = structure.rank_of_opt(anchor)
     cache_key = (anchor_pre, axis, node_test.prefix, node_test.local, key_path)
     if anchor_pre is not None:
         cached = structure.value_indexes.get(cache_key)
@@ -1497,6 +1497,7 @@ def evaluate_query(
     apply_pending_updates: bool = True,
     put_store=None,
     accelerator: bool = True,
+    incremental_updates: bool = True,
 ) -> Sequence:
     """One-shot convenience: compile, execute, (optionally) apply updates."""
     from repro.xquf.pul import apply_updates
@@ -1511,5 +1512,5 @@ def evaluate_query(
         accelerator=accelerator,
     )
     if apply_pending_updates and pul:
-        apply_updates(pul)
+        apply_updates(pul, incremental=incremental_updates)
     return result

@@ -235,20 +235,270 @@ class PendingUpdateList:
         return bool(self.primitives)
 
 
-def apply_updates(pul: PendingUpdateList) -> None:
+class _TreeState:
+    """Per-tree bookkeeping of one :func:`apply_updates` run."""
+
+    __slots__ = ("root", "index")
+
+    def __init__(self, root: Node, index) -> None:
+        self.root = root
+        # The live StructuralIndex being patched in place, or None when
+        # the tree has no fresh index (it will rebuild lazily) or a
+        # patch failed / a full re-encode killed it.
+        self.index = index
+
+
+class _IncrementalApplier:
+    """Applies primitives with O(change) re-encoding and in-place
+    :class:`~repro.xdm.structural.StructuralIndex` patching.
+
+    Each structural primitive mints order keys for exactly its splice
+    region (gap fast path; region respread / full re-encode fallbacks)
+    and splices the affected rows of the tree's live index.  Value-only
+    primitives (replace value on attributes/text, rename) skip
+    restamping entirely — their ``order_key``/``size``/``level`` stamps
+    stay valid — and merely evict the value indexes they can invalidate.
+    """
+
+    def __init__(self) -> None:
+        from repro.xdm import structural
+
+        self._structural = structural
+        self._trees: dict[int, _TreeState] = {}
+        self._current: Optional[_TreeState] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _state(self, root: Node) -> _TreeState:
+        state = self._trees.get(id(root))
+        if state is None:
+            index = root._sidx
+            live = index is not None and not index.stale \
+                and index.root is root
+            state = _TreeState(root, index if live else None)
+            self._trees[id(root)] = state
+        self._current = state
+        return state
+
+    def _abandon(self, state: _TreeState) -> None:
+        """A patch could not locate its splice point: stale-mark and let
+        the next query rebuild (correctness over bookkeeping)."""
+        if state.index is not None:
+            state.index.stale = True
+            state.index = None
+
+    def apply(self, primitive: UpdatePrimitive) -> None:
+        self._current = None
+        try:
+            self._dispatch(primitive)
+        except Exception:
+            # A primitive failed mid-flight (XQUF dynamic errors raise
+            # after part of the splice happened): anything we patched so
+            # far is consistent, but the failing splice is not — force a
+            # rebuild of the touched tree's index.
+            state = self._current
+            if state is not None:
+                self._abandon(state)
+            raise
+
+    def finalize(self) -> None:
+        """Clear the stale bits the primitives' own mutators flipped:
+        every mutation went through a successful patch, so each
+        still-tracked index is consistent with its tree."""
+        for state in self._trees.values():
+            if state.index is not None:
+                state.index.stale = False
+
+    # -- primitive handlers ------------------------------------------------
+
+    def _dispatch(self, primitive: UpdatePrimitive) -> None:
+        if isinstance(primitive, (InsertInto, InsertFirst, InsertLast,
+                                  InsertBefore, InsertAfter)):
+            self._apply_insert(primitive)
+        elif isinstance(primitive, ReplaceNode):
+            self._apply_replace(primitive)
+        elif isinstance(primitive, ReplaceValue):
+            self._apply_replace_value(primitive)
+        elif isinstance(primitive, RenameNode):
+            self._apply_rename(primitive)
+        elif isinstance(primitive, DeleteNode):
+            self._apply_delete(primitive)
+        elif isinstance(primitive, PutDocument):
+            primitive.apply()
+        else:
+            # Unknown primitive kind: apply, then fall back to a full
+            # re-encode of its tree (conservative).
+            root = primitive.target.root()
+            state = self._state(root)
+            primitive.apply()
+            self._structural.reencode_tree(state.root)
+            state.index = None
+
+    def _split_content(self, content: list[Node],
+                       ) -> tuple[list[Node], list[Node]]:
+        roots = [n for n in content if not isinstance(n, AttributeNode)]
+        attrs = [n for n in content if isinstance(n, AttributeNode)]
+        return roots, attrs
+
+    def _splice(self, state: _TreeState, parent: Node,
+                roots: list[Node], attrs: list[Node]) -> None:
+        """Mint keys for freshly inserted content and patch the index."""
+        structural = self._structural
+        outcome = "subtree"
+        if roots:
+            outcome = structural.reencode_spliced_children(parent, roots)
+        if attrs and outcome != "full":
+            outcome = structural.reencode_spliced_attributes(parent, attrs)
+        if outcome == "full":
+            # reencode_tree already stale-marked the index.
+            state.index = None
+            return
+        if state.index is not None:
+            ok = state.index.patch_insert(parent, roots) if roots else True
+            if ok and attrs:
+                ok = state.index.patch_attributes(parent, attrs)
+            if not ok:
+                self._abandon(state)
+
+    def _apply_insert(self, primitive: UpdatePrimitive) -> None:
+        target = primitive.target
+        if isinstance(primitive, (InsertBefore, InsertAfter)):
+            parent = target.parent
+        else:
+            parent = target
+        if parent is None:
+            primitive.apply()  # raises the proper XUDY0027
+            return
+        state = self._state(target.root())
+        primitive.apply()
+        roots, attrs = self._split_content(primitive.content)
+        self._splice(state, parent, roots, attrs)
+
+    def _apply_replace(self, primitive: ReplaceNode) -> None:
+        target = primitive.target
+        parent = target.parent
+        if parent is None:
+            primitive.apply()  # raises XUDY0009
+            return
+        state = self._state(target.root())
+        if isinstance(target, AttributeNode):
+            primitive.apply()
+            self._structural.rekey_detached(target)
+            outcome = self._structural.reencode_spliced_attributes(
+                parent, list(primitive.replacement))
+            if outcome == "full":
+                state.index = None
+            elif state.index is not None:
+                if not state.index.patch_attributes(
+                        parent, primitive.replacement):
+                    self._abandon(state)
+            return
+        if state.index is not None:
+            if not state.index.patch_delete(target):
+                self._abandon(state)
+        primitive.apply()
+        self._structural.rekey_detached(target)
+        roots, attrs = self._split_content(primitive.replacement)
+        self._splice(state, parent, roots, attrs)
+
+    def _apply_replace_value(self, primitive: ReplaceValue) -> None:
+        target = primitive.target
+        if isinstance(target, ElementNode):
+            # Splices a fresh-factory text node in place of the old
+            # children — a structural change like any replace.
+            state = self._state(target.root())
+            old_children = list(target.children)
+            if state.index is not None:
+                for child in old_children:
+                    if not state.index.patch_delete(child):
+                        self._abandon(state)
+                        break
+            primitive.apply()
+            for child in old_children:
+                self._structural.rekey_detached(child)
+            self._splice(state, target, list(target.children), [])
+            return
+        # Attribute / text target: value-only — order keys, sizes and
+        # index rows all stay valid; no restamp at all.
+        state = self._state(target.root())
+        primitive.apply()
+        if state.index is not None:
+            if not state.index.patch_content(target):
+                self._abandon(state)
+
+    def _apply_rename(self, primitive: RenameNode) -> None:
+        target = primitive.target
+        state = self._state(target.root())
+        old_local = getattr(target, "local_name", None)
+        primitive.apply()
+        if state.index is not None:
+            if not state.index.patch_rename(target, old_local):
+                self._abandon(state)
+
+    def _apply_delete(self, primitive: DeleteNode) -> None:
+        target = primitive.target
+        parent = target.parent
+        if parent is None:
+            primitive.apply()  # detached root: no-op
+            return
+        state = self._state(target.root())
+        if isinstance(target, AttributeNode):
+            primitive.apply()
+            self._structural.rekey_detached(target)
+            if state.index is not None:
+                if not state.index.patch_attributes(parent):
+                    self._abandon(state)
+            if target._sidx is not None:
+                target._sidx = None
+            return
+        # Tree-node delete: the *remaining* keys need no work at all —
+        # freed serials simply become gaps.  The detached subtree is
+        # rekeyed under a fresh doc id (O(detached)) so a held
+        # reference can never collide with a later in-gap mint.
+        if state.index is not None:
+            if not state.index.patch_delete(target):
+                self._abandon(state)
+        primitive.apply()
+        self._structural.rekey_detached(target)
+
+
+def apply_updates(pul: PendingUpdateList, *,
+                  incremental: bool = True) -> None:
     """applyUpdates(Δ): carry through all changes in the list.
 
     Deletions are applied last (after inserts/replaces), following the
     XQUF semantics that the primitives operate against the pre-update
     tree as far as observable.
 
-    Afterwards, every structurally mutated tree is re-encoded
-    (:func:`~repro.xdm.structural.reencode_tree`): spliced-in content
-    minted by other node factories receives order keys matching its new
-    tree position, restoring the dense pre/size/level encoding.  Value
-    and rename updates only invalidate the affected tree's structural
-    index (and with it the cached equality-predicate value indexes).
+    With ``incremental`` (the default), every primitive re-encodes only
+    its splice region on the gapped order-key plane — inserted content
+    mints keys inside the gap between its document-order neighbours,
+    deletes need no key work, value/rename updates skip restamping
+    entirely — and the tree's :class:`StructuralIndex` is patched in
+    place (rows spliced, tag partitions shifted, covered value indexes
+    evicted) instead of stale-marked.  ``incremental=False`` restores
+    the historical behaviour — a full
+    :func:`~repro.xdm.structural.reencode_tree` per structurally
+    mutated tree plus index stale-marking — and is kept as the
+    benchmark ablation (``bench_incremental_updates``).
     """
+    if not incremental:
+        _apply_updates_full(pul)
+        return
+    applier = _IncrementalApplier()
+    deletions = [p for p in pul.primitives if isinstance(p, DeleteNode)]
+    for primitive in pul.primitives:
+        if not isinstance(primitive, DeleteNode):
+            applier.apply(primitive)
+    for primitive in deletions:
+        applier.apply(primitive)
+    applier.finalize()
+
+
+def _apply_updates_full(pul: PendingUpdateList) -> None:
+    """The pre-gap update path: apply, then restamp every structurally
+    mutated tree densely and stale-mark its index (the ablation
+    baseline; also exercised by equivalence tests)."""
     from repro.xdm.structural import invalidate_structural_index, reencode_tree
 
     structural = (InsertInto, InsertFirst, InsertLast, InsertBefore,
@@ -278,4 +528,4 @@ def apply_updates(pul: PendingUpdateList) -> None:
     for primitive in deletions:
         primitive.apply()
     for root in mutated_roots.values():
-        reencode_tree(root)
+        reencode_tree(root, stride=1)

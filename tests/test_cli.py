@@ -112,6 +112,24 @@ class TestExplainAndPlanFlags:
         assert "fallback: FunctionCall:" in captured.err
         assert captured.out.strip() == "2"
 
+    def test_explain_shows_update_cost_counters(self, films_file, capsys):
+        assert main([
+            "-e", "insert node <film/> into doc('filmDB.xml')/films",
+            "--doc", f"filmDB.xml={films_file}",
+            "--explain",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "updates: reencode full=0 subtree=1" in captured.err
+        assert "index patches=" in captured.err
+
+    def test_read_only_explain_has_no_update_line(self, films_file, capsys):
+        assert main([
+            "-e", "doc('filmDB.xml')//name",
+            "--doc", f"filmDB.xml={films_file}",
+            "--explain",
+        ]) == 0
+        assert "updates:" not in capsys.readouterr().err
+
     def test_no_lifted_pins_interpreter(self, films_file, capsys):
         assert main([
             "-e", "doc('filmDB.xml')//name",

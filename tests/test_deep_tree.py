@@ -33,12 +33,13 @@ def build_spine(depth: int = DEPTH) -> tuple:
         current.append(child)
         current = child
     current.append(factory.text("leaf", level=depth + 1))
-    # Single-spine tree: every element's subtree is exactly the serials
-    # issued after it, so the parse-style size stamp is closed-form.
-    root.size = factory.issued - 1
+    # Single-spine tree: every element's subtree extends to the last
+    # serial issued, so the parse-style size stamp is closed-form
+    # (serial units — serials are gapped by the factory stride).
+    root.size = factory.last_serial - root.order_key[1]
     for node in root.descendants():
         if node.children:
-            node.size = factory.issued - node.order_key[1] - 1
+            node.size = factory.last_serial - node.order_key[1]
     return root, current
 
 

@@ -79,6 +79,27 @@ class TestLiftedAxes:
         assert_equivalent(
             "doc('persons.xml')//person/self::person/name", resolver)
 
+    def test_parent_axis(self, resolver):
+        assert_equivalent(
+            "doc('persons.xml')//person/parent::people", resolver)
+
+    def test_parent_axis_abbreviated(self, resolver):
+        assert_equivalent("doc('persons.xml')//name/../address", resolver)
+
+    def test_parent_axis_dedup_across_iterations(self, resolver):
+        # Children of one parent share it: per-iteration contexts keep
+        # one row each, a whole-sequence step deduplicates.
+        assert_equivalent(
+            "let $n := doc('persons.xml')//name "
+            "return $n/parent::person", resolver)
+
+    def test_parent_of_attribute_is_owner(self, resolver):
+        assert_equivalent(
+            "doc('auctions.xml')//buyer/@person/parent::buyer", resolver)
+
+    def test_parent_wildcard(self, resolver):
+        assert_equivalent("doc('persons.xml')//city/parent::*", resolver)
+
     def test_wildcard_name(self, resolver):
         assert_equivalent("doc('persons.xml')/site/people/person/*",
                           resolver)
@@ -185,7 +206,7 @@ class TestFallbackTelemetry:
         ("doc('persons.xml')//person/ancestor::site", "PathExpr"),
         ("doc('persons.xml')//name/following::person", "PathExpr"),
         ("doc('persons.xml')//address/preceding::name", "PathExpr"),
-        ("doc('persons.xml')//person/parent::people", "PathExpr"),
+        ("doc('persons.xml')//person/following-sibling::person", "PathExpr"),
         ("<wrapper/>", "DirectElement"),
         ("for $x in (2, 1) order by $x return $x", "OrderByClause"),
         ("count(doc('persons.xml')//person)", "FunctionCall"),

@@ -253,3 +253,124 @@ class TestBulkEquivalenceProperty:
         assert deep_equal(bulk.sequence, single.sequence)
         assert bulk.messages_sent == 1
         assert single.messages_sent == len(actors)
+
+
+# ---------------------------------------------------------------------------
+# Interleaved update/query equivalence (gapped pre-plane)
+
+
+# A known document shape so update targets can be drawn by index: three
+# sections, each with three items carrying values.
+def _sections_xml() -> str:
+    sections = []
+    for section in range(3):
+        items = "".join(
+            f'<item v="s{section}i{item}">t{section}{item}</item>'
+            for item in range(3))
+        sections.append(f'<sec n="{section}">{items}</sec>')
+    return f"<root>{''.join(sections)}</root>"
+
+
+_update_ops = st.one_of(
+    st.builds(lambda j, tag: ("insert-first", j, tag),
+              st.integers(1, 3), xml_names),
+    st.builds(lambda j, tag: ("insert-last", j, tag),
+              st.integers(1, 3), xml_names),
+    st.builds(lambda j, k, tag: ("insert-before", j, k, tag),
+              st.integers(1, 3), st.integers(1, 3), xml_names),
+    st.builds(lambda j, k, tag: ("insert-after", j, k, tag),
+              st.integers(1, 3), st.integers(1, 3), xml_names),
+    st.builds(lambda j: ("delete-sec-child", j), st.integers(1, 3)),
+    st.builds(lambda j, name: ("rename-sec", j, name),
+              st.integers(1, 3), xml_names),
+    st.builds(lambda j, value: ("set-attr", j, value),
+              st.integers(1, 3), st.text(
+                  alphabet=stringmod.ascii_letters, max_size=6)),
+    st.builds(lambda j, value: ("replace-value", j, value),
+              st.integers(1, 3), st.text(
+                  alphabet=stringmod.ascii_letters, max_size=6)),
+)
+
+
+def _op_query(op: tuple) -> str:
+    kind = op[0]
+    if kind == "insert-first":
+        return (f"insert node <{op[2]}/> as first into "
+                f"(doc('r.xml')//*)[{op[1]}]")
+    if kind == "insert-last":
+        return (f"insert node <{op[2]} m='1'/> as last into "
+                f"(doc('r.xml')//*)[{op[1]}]")
+    if kind == "insert-before":
+        return (f"insert node <{op[3]}/> before "
+                f"doc('r.xml')/root/*[{op[1]}]/*[{op[2]}]")
+    if kind == "insert-after":
+        return (f"insert node <{op[3]}/> after "
+                f"doc('r.xml')/root/*[{op[1]}]/*[{op[2]}]")
+    if kind == "delete-sec-child":
+        return f"delete nodes doc('r.xml')/root/*[{op[1]}]/*[1]"
+    if kind == "rename-sec":
+        return f"rename node doc('r.xml')/root/*[{op[1]}] as '{op[2]}'"
+    if kind == "set-attr":
+        return (f"replace value of node doc('r.xml')/root/*[{op[1]}]/@n "
+                f"with '{op[2]}'")
+    assert kind == "replace-value"
+    return (f"replace value of node doc('r.xml')/root/*[{op[1]}] "
+            f"with '{op[2]}'")
+
+
+_PROBE_QUERIES = (
+    "doc('r.xml')//item",
+    "doc('r.xml')//@*",
+    "count(doc('r.xml')//node())",
+    "doc('r.xml')//item/parent::*",
+    "doc('r.xml')//item[@v = 's1i1']",
+    "doc('r.xml')/root/*/*",
+    "doc('r.xml')//text()",
+)
+
+
+class TestInterleavedUpdateQueryEquivalence:
+    """Random PUL + path-query sequences must agree across the gapped
+    O(change) update path (accelerator on and off, lifted-first engine
+    and plain interpreter) and the dense full-restamp baseline."""
+
+    @given(st.lists(_update_ops, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_all_paths_agree(self, operations):
+        from repro.engine import Engine
+        from repro.xquery.context import ExecutionContext
+        from repro.xquery.evaluator import evaluate_query
+
+        def run(stride, incremental, accelerator, lifted):
+            document = parse_document(_sections_xml(), uri="r.xml",
+                                      stride=stride)
+            resolver = {"r.xml": document}.get
+            engine = Engine(accelerator=accelerator) if lifted else None
+            outputs = []
+            for operation in operations:
+                update = _op_query(operation)
+                try:
+                    evaluate_query(update, doc_resolver=resolver,
+                                   accelerator=accelerator,
+                                   incremental_updates=incremental)
+                    outputs.append("ok")
+                except Exception as error:  # dynamic update errors must
+                    outputs.append(type(error).__name__)  # agree too
+                for probe in _PROBE_QUERIES:
+                    if lifted:
+                        result, _ = engine.execute(probe, ExecutionContext(
+                            doc_resolver=resolver, accelerator=accelerator,
+                            incremental_updates=incremental))
+                    else:
+                        result = evaluate_query(probe, doc_resolver=resolver,
+                                                accelerator=accelerator)
+                    outputs.append(serialize(s2n(result)))
+            return outputs
+
+        gapped_accel = run(None, True, True, False)
+        gapped_naive = run(None, True, False, False)
+        gapped_lifted = run(None, True, True, True)
+        dense_full = run(1, False, True, False)
+        assert gapped_accel == gapped_naive
+        assert gapped_accel == gapped_lifted
+        assert gapped_accel == dense_full

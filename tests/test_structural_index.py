@@ -4,6 +4,7 @@ set-at-a-time axis evaluation, and its invalidation on tree mutation."""
 import pytest
 
 from repro.xdm import (
+    KEY_STRIDE,
     NodeFactory,
     reencode_tree,
     structural_index,
@@ -68,13 +69,21 @@ class TestEncoding:
         doc = parse_document("<a x='1'><b/><c>t</c></a>")
         a = doc.root_element
         assert doc.pre == 0 and doc.level == 0
-        # a's subtree: attribute x, b, c, text = 4 serials
-        assert a.pre == 1 and a.size == 4 and a.level == 1
+        # Serials are gapped (stride KEY_STRIDE); sizes are serial-unit
+        # extents: a's subtree holds attribute x, b, c, text = 4 keys.
+        stride = KEY_STRIDE
+        assert a.pre == stride and a.size == 4 * stride and a.level == 1
         b, c = a.child_elements()
         assert (b.level, c.level) == (2, 2)
-        assert b.size == 0 and c.size == 1  # c holds one text node
+        assert b.size == 0 and c.size == stride  # c holds one text node
         assert a.attributes[0].level == 2
         # document extent covers every serial issued after it
+        assert doc.size == 5 * stride
+
+    def test_dense_stride_recovers_historical_encoding(self):
+        doc = parse_document("<a x='1'><b/><c>t</c></a>", stride=1)
+        a = doc.root_element
+        assert a.pre == 1 and a.size == 4
         assert doc.size == 5
 
     def test_descendant_window_contains_exactly_the_subtree(self):
@@ -112,7 +121,7 @@ class TestEncoding:
         doc.root_element.set_attribute(NodeFactory().attribute("x", "1"))
         assert structural_index(doc) is not first
 
-    def test_reencode_restores_dense_document_order(self):
+    def test_reencode_restores_document_order(self):
         doc = parse_document("<a><b/><d/></a>")
         foreign = NodeFactory().element("c")  # later doc_id, early position
         a = doc.root_element
@@ -122,9 +131,11 @@ class TestEncoding:
         keys = [n.order_key for n in doc.descendants(include_self=True)]
         assert keys == sorted(keys)
         assert len(set(keys)) == len(keys)
+        # Restamped with gaps so the next update stays O(change).
+        stride = KEY_STRIDE
         assert [n.pre for n in doc.descendants(include_self=True)] == \
-            [0, 1, 2, 3, 4]
-        assert a.size == 3 and foreign.level == 2
+            [0, stride, 2 * stride, 3 * stride, 4 * stride]
+        assert a.size == 3 * stride and foreign.level == 2
 
 
 class TestAxisEquivalence:
