@@ -123,3 +123,91 @@ def test_pushdown_speedup(benchmark, report, scale, shape):
         floors = {"descendant-scan": 1.5, "flwor-paths": 1.02,
                   "predicate-select": 1.1}
         assert speedup >= floors[shape], (shape, speedup)
+
+
+# -- per-axis microbench: the closed lifted core ---------------------------
+#
+# One query per newly lifted axis (plus the positional-predicate
+# shapes), measured exactly like the pushdown shapes above: the lifted
+# window kernel vs the naive per-node interpreter baseline those
+# queries fell back to before the core closed.  ``following`` /
+# ``preceding`` carry the hard >=2x acceptance floor at sf-large — the
+# staircase boundary windows vs a whole-document walk per context node.
+AXIS_QUERIES = {
+    "ancestor": "doc('persons.xml')//city/ancestor::person/name",
+    "ancestor-or-self": "doc('persons.xml')//city/ancestor-or-self::*",
+    "following": "doc('auctions.xml')//seller/following::price",
+    "preceding": "doc('auctions.xml')//price/preceding::seller",
+    "following-sibling":
+        "doc('auctions.xml')//seller/following-sibling::itemref",
+    "preceding-sibling":
+        "doc('auctions.xml')//itemref/preceding-sibling::seller",
+    "positional-literal": "doc('auctions.xml')//closed_auction/*[2]",
+    "positional-last": "doc('auctions.xml')//closed_auction/*[last()]",
+}
+
+AXIS_FLOORS = {
+    "ancestor": 1.2,
+    "ancestor-or-self": 1.2,
+    "following": 2.0,
+    "preceding": 2.0,
+    "following-sibling": 1.2,
+    "preceding-sibling": 1.2,
+    "positional-literal": 1.02,
+    "positional-last": 1.02,
+}
+
+
+@pytest.mark.parametrize("axis", list(AXIS_QUERIES))
+def test_axis_kernel_speedup(benchmark, report, axis):
+    scale = LARGEST
+    query = AXIS_QUERIES[axis]
+    resolver = _resolver(scale)
+
+    _, warm_lifted = _timed_lifted(query, resolver)
+    _, warm_interp = _timed_interpreter(query, resolver, True)
+    _, warm_naive = _timed_interpreter(query, resolver, False)
+    assert serialize_sequence(warm_lifted) == serialize_sequence(warm_interp)
+    assert serialize_sequence(warm_lifted) == serialize_sequence(warm_naive)
+
+    gc.collect()
+    fallback_seconds = min(_timed_interpreter(query, resolver, False)[0]
+                           for _ in range(5))
+    interp_seconds = min(_timed_interpreter(query, resolver, True)[0]
+                         for _ in range(5))
+    gc.collect()
+    benchmark.pedantic(_timed_lifted, args=(query, resolver),
+                       rounds=5, iterations=1)
+    lifted_seconds = benchmark.stats.stats.min
+    speedup = fallback_seconds / max(lifted_seconds, 1e-9)
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["axis"] = axis
+    benchmark.extra_info["fallback_ms"] = round(fallback_seconds * 1000, 3)
+    benchmark.extra_info["interp_accel_ms"] = round(interp_seconds * 1000, 3)
+    benchmark.extra_info["lifted_ms"] = round(lifted_seconds * 1000, 3)
+    benchmark.extra_info["speedup_vs_fallback"] = round(speedup, 1)
+    report(f"axis kernel   [{scale:9s}] {axis:18s} "
+           f"fallback {fallback_seconds * 1000:9.2f} ms -> "
+           f"lifted {lifted_seconds * 1000:7.2f} ms  ({speedup:8.1f}x)")
+    assert speedup >= AXIS_FLOORS[axis], (axis, speedup)
+
+
+def test_read_suite_fully_lifted(report):
+    """Coverage gate: every XMark read-suite query runs ``plan ==
+    "lifted"`` with no recorded fallback — a bench-side tripwire so a
+    kernel regression shows up in CI even before the speedup floors."""
+    from repro.engine.base import Engine
+    from repro.workloads.xmark import READ_SUITE
+    from repro.xquery.context import ExecutionContext
+
+    resolver = _resolver("sf-small")
+    engine = Engine()
+    for name, query in READ_SUITE.items():
+        result, explain = engine.execute(
+            query, ExecutionContext(doc_resolver=resolver))
+        assert explain.plan == "lifted", (name, explain.fallback_reason)
+        assert explain.fallback_reason is None
+        assert result, f"read-suite query unexpectedly empty: {name}"
+    assert engine.fallback_stats() == {}
+    report(f"read suite: {len(READ_SUITE)}/{len(READ_SUITE)} queries lifted, "
+           "0 fallbacks")

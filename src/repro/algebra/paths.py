@@ -24,26 +24,36 @@ from repro.xdm.nodes import AttributeNode, Node
 from repro.xdm.sequence import document_order_sort
 from repro.xdm.structural import (
     BATCHED_AXES,
+    REVERSE_AXES,
     axis_scan_batched,
     axis_window_scan,
     split_context,
     structural_index,
     tree_groups,
 )
-from repro.xquery.evaluator import axis_value_index
+from repro.xquery.evaluator import axis_value_index, positional_spec_keep
 
-#: Axes the algebra layer evaluates as window scans: the downward axes
-#: plus ``parent`` (the level−1 ancestor over the index's owner chain).
-#: The remaining axes (ancestor, following, preceding, siblings) stay
-#: with the interpreter until they are loop-lifted.
-LIFTED_AXES = frozenset(
-    ("self", "child", "descendant", "descendant-or-self", "attribute",
-     "parent"))
+__all__ = [
+    "LIFTED_AXES",
+    "REVERSE_AXES",
+    "axis_step",
+    "equality_probe_step",
+    "merge_exploded_contexts",
+    "positional_filter",
+]
+
+#: Axes the algebra layer evaluates as window scans — since the lifted
+#: core closed, *every* XPath axis: the downward axes, ``parent``/
+#: ``ancestor(-or-self)`` over the index's owner chain, ``following``/
+#: ``preceding`` as staircase boundary windows, and the sibling axes as
+#: parent-window size-skips.
+LIFTED_AXES = BATCHED_AXES
 
 
 def axis_step(table: Table, axis: str, matches: Callable[[Node], bool],
               local_name: Optional[str] = None,
-              match_all: bool = False) -> Table:
+              match_all: bool = False,
+              limit: Optional[int] = None) -> Table:
     """Map an ``iter|pos|item`` node table through one axis step.
 
     Every iteration's context sequence becomes a staircase-pruned window
@@ -63,6 +73,12 @@ def axis_step(table: Table, axis: str, matches: Callable[[Node], bool],
         Non-wildcard element name test — scans the tag partition.
     match_all:
         The test is ``node()``; skip per-candidate filtering.
+    limit:
+        Keep only each iteration's first *limit* matches in axis order
+        (the early-exit for a leading positional ``[n]`` predicate).
+        Applied on the batched single-context path only — the general
+        path returns the full window, which the positional rank filter
+        trims to the identical result.
 
     Raises
     ------
@@ -108,7 +124,7 @@ def axis_step(table: Table, axis: str, matches: Callable[[Node], bool],
             return
         scanned = axis_scan_batched(pending_index, axis, pending,
                                     matches=matches, local_name=local_name,
-                                    match_all=match_all)
+                                    match_all=match_all, limit=limit)
         last = None
         pos = 0
         for tag, node in scanned:
@@ -144,6 +160,66 @@ def axis_step(table: Table, axis: str, matches: Callable[[Node], bool],
         for pos, node in enumerate(results, start=1):
             rows.append((it, pos, node))
     flush()
+    return Table(("iter", "pos", "item"), rows)
+
+
+def positional_filter(table: Table, spec: tuple,
+                      reverse: bool = False) -> Table:
+    """Positional predicate as a rank computation over per-iteration
+    doc-ordered windows.
+
+    Each iteration's rows form one context window (the compiler
+    explodes multi-node contexts so one iteration is one context
+    node).  The row's rank in the window is its position — counted
+    from the window's *end* for reverse axes, where XPath numbers
+    nearest-first — and *spec* (see
+    :func:`repro.xquery.evaluator.positional_predicate_spec`) decides
+    which ranks survive.  Rows stay in document order; ``pos`` is
+    re-derived dense per iteration.
+    """
+    iter_index = table.col("iter")
+    item_index = table.col("item")
+    by_iter: dict = {}
+    for row in table.rows:
+        by_iter.setdefault(row[iter_index], []).append(row[item_index])
+    rows: list[tuple] = []
+    for it, window in by_iter.items():
+        count = len(window)
+        pos = 0
+        for rank, item in enumerate(window, start=1):
+            position = count - rank + 1 if reverse else rank
+            if positional_spec_keep(spec, position, count):
+                pos += 1
+                rows.append((it, pos, item))
+    return Table(("iter", "pos", "item"), rows)
+
+
+def merge_exploded_contexts(table: Table, mapping: Table) -> Table:
+    """Undo a per-context explosion: map inner iterations back to their
+    outer iteration and re-establish *step* semantics — the per-context
+    results of one outer iteration union into a duplicate-free,
+    document-ordered sequence (unlike a FLWOR unwind, which
+    concatenates).
+    """
+    joined = table.join(mapping, "iter", "inner")
+    outer_index = joined.col("outer")
+    item_index = joined.col("item")
+    by_outer: dict = {}
+    order: list = []
+    for row in joined.rows:
+        outer = row[outer_index]
+        members = by_outer.get(outer)
+        if members is None:
+            by_outer[outer] = [row[item_index]]
+            order.append(outer)
+        else:
+            members.append(row[item_index])
+    order.sort()
+    rows: list[tuple] = []
+    for outer in order:
+        for pos, node in enumerate(document_order_sort(by_outer[outer]),
+                                   start=1):
+            rows.append((outer, pos, node))
     return Table(("iter", "pos", "item"), rows)
 
 

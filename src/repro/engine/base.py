@@ -29,6 +29,9 @@ class Explain:
     ``UnsupportedExpression`` message — uniformly naming the offending
     AST node type — when a lifted attempt bailed, and ``None`` when the
     plan ran lifted or lifting was disabled by the caller.
+    ``fallback_code`` is the matching stable code (see
+    :class:`~repro.pathfinder.compiler.UnsupportedExpression`) — the
+    key the engine's per-reason fallback histogram counts under.
 
     ``reencodes_full`` / ``reencodes_subtree`` / ``gap_respreads`` /
     ``index_patches`` are *this execution's* deltas of the
@@ -45,6 +48,7 @@ class Explain:
     compile_seconds: float
     execute_seconds: float
     cache_hit: bool
+    fallback_code: Optional[str] = None
     reencodes_full: int = 0
     reencodes_subtree: int = 0
     gap_respreads: int = 0
@@ -54,7 +58,8 @@ class Explain:
         """Human-readable one-paragraph form (the CLI's --explain)."""
         lines = [f"plan: {self.plan}"]
         if self.fallback_reason:
-            lines.append(f"fallback: {self.fallback_reason}")
+            code = f" [{self.fallback_code}]" if self.fallback_code else ""
+            lines.append(f"fallback: {self.fallback_reason}{code}")
         lines.append(f"plan cache: {'hit' if self.cache_hit else 'miss'}")
         lines.append(f"compile: {self.compile_seconds * 1000.0:.3f} ms")
         lines.append(f"execute: {self.execute_seconds * 1000.0:.3f} ms")
@@ -133,6 +138,10 @@ class Engine:
         # UnsupportedExpression message naming the offending AST node.
         self.last_plan: Optional[str] = None
         self.last_fallback_reason: Optional[str] = None
+        self.last_fallback_code: Optional[str] = None
+        # Per-reason fallback histogram (stable UnsupportedExpression
+        # codes -> count), so retired fallbacks are visible one by one.
+        self._fallback_counts: dict[str, int] = {}
 
     def compile(self, source: str) -> CompiledQuery:
         compiled, _, _ = self.compile_with_stats(source)
@@ -204,6 +213,7 @@ class Engine:
             optimize_joins=self.optimize_flwor_joins)
         self.last_plan = None
         self.last_fallback_reason = None
+        self.last_fallback_code = None
         compiled, compile_seconds, cache_hit = self.compile_with_stats(source)
         started = time.perf_counter()
         # Thread-local basis: concurrent executions must not attribute
@@ -219,9 +229,10 @@ class Engine:
                               "gap_respreads", "index_patches")}
 
         fallback_reason = None
+        fallback_code = None
         if options.try_lifted:
-            result, fallback_reason = self.attempt_lifted(source, compiled,
-                                                          options)
+            result, fallback_reason, fallback_code = self.attempt_lifted(
+                source, compiled, options)
             if fallback_reason is None:
                 self.record_plan("lifted", None)
                 return result, Explain(
@@ -229,7 +240,7 @@ class Engine:
                     compile_seconds=compile_seconds,
                     execute_seconds=time.perf_counter() - started,
                     cache_hit=cache_hit, **update_deltas())
-        self.record_plan("interpreter", fallback_reason)
+        self.record_plan("interpreter", fallback_reason, fallback_code)
         result, pul = compiled.run(options)
         if pul and options.apply_updates:
             from repro.xquf.pul import apply_updates
@@ -238,29 +249,39 @@ class Engine:
             plan="interpreter", fallback_reason=fallback_reason,
             compile_seconds=compile_seconds,
             execute_seconds=time.perf_counter() - started,
-            cache_hit=cache_hit, **update_deltas())
+            cache_hit=cache_hit, fallback_code=fallback_code,
+            **update_deltas())
 
     def attempt_lifted(self, source: str, compiled: CompiledQuery,
                        context: ExecutionContext,
-                       ) -> tuple[Optional[list], Optional[str]]:
-        """One lifted-plan attempt: ``(result, None)`` on success,
-        ``(None, fallback_reason)`` when the query is outside the lifted
-        core — shared by :meth:`execute` and the peer's originating
-        path, so fallback handling cannot drift between them."""
+                       ) -> tuple[Optional[list], Optional[str], Optional[str]]:
+        """One lifted-plan attempt: ``(result, None, None)`` on success,
+        ``(None, fallback_reason, fallback_code)`` when the query is
+        outside the lifted core — shared by :meth:`execute` and the
+        peer's originating path, so fallback handling cannot drift
+        between them."""
         from repro.pathfinder import LoopLiftedQuery, UnsupportedExpression
 
         try:
             query = LoopLiftedQuery(source, compiled=compiled,
                                     context=context)
-            return query.run(context=context), None
+            return query.run(context=context), None, None
         except UnsupportedExpression as unsupported:
-            return None, str(unsupported)
+            return None, str(unsupported), unsupported.code
 
-    def record_plan(self, plan: str, fallback_reason: Optional[str]) -> None:
-        """Record the most recent plan choice (legacy telemetry; the
-        returned :class:`Explain` is the race-free surface)."""
+    def record_plan(self, plan: str, fallback_reason: Optional[str],
+                    fallback_code: Optional[str] = None) -> None:
+        """Record the most recent plan choice (legacy last-* telemetry;
+        the returned :class:`Explain` is the race-free surface) and bump
+        the per-code fallback histogram when an attempt bailed."""
         self.last_plan = plan
         self.last_fallback_reason = fallback_reason
+        self.last_fallback_code = fallback_code
+        if plan == "interpreter" and fallback_reason is not None:
+            code = fallback_code or "uncoded"
+            with self._cache_lock:
+                self._fallback_counts[code] = \
+                    self._fallback_counts.get(code, 0) + 1
 
     # -- deprecated keyword-style entry point -------------------------------
 
@@ -293,6 +314,12 @@ class Engine:
         with self._cache_lock:
             self._plan_cache.clear()
             self._function_cache.clear()
+
+    def fallback_stats(self) -> dict:
+        """Per-reason fallback histogram: stable code -> count of lifted
+        attempts that bailed with it since engine construction."""
+        with self._cache_lock:
+            return dict(self._fallback_counts)
 
     def cache_stats(self) -> dict:
         """Plan/function cache counters (surfaced by Database.stats())."""

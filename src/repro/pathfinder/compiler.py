@@ -7,25 +7,34 @@ representable (absence of rows).
 
 Supported core: literals, sequence construction, ranges, variables,
 FLWOR (for/let/where), arithmetic, comparisons, a few row-wise builtins
-(``concat``, ``string``, ``doc``), path expressions over the lifted axes
-(self, child, descendant, descendant-or-self, attribute, parent —
-evaluated as window predicates over the
+(``concat``, ``string``, ``doc``), path expressions over *every* XPath
+axis — evaluated as window predicates over the
 :class:`~repro.xdm.structural.StructuralIndex`
-pre/size/level columns, see :mod:`repro.algebra.paths`), simple
-non-positional predicates, and ``execute at`` — compiled by the Figure 2
-rule.  Anything else raises :class:`UnsupportedExpression`, signalling
-the caller to fall back to the interpreter (MonetDB similarly falls back
-to non-loop-lifted paths for exotic constructs).  Every
-:class:`UnsupportedExpression` message starts with the offending AST
-node's type name (``"PathExpr: axis ancestor is not lifted"``), so
-fallback telemetry can record *why* a query wasn't lifted.
+pre/size/level columns, see :mod:`repro.algebra.paths` — with
+effective-boolean-value predicates and the statically positional shapes
+(``[n]``, ``[last()]``, ``position()``/``last()`` comparisons, compiled
+as rank computations over per-context windows), and ``execute at`` —
+compiled by the Figure 2 rule.  Anything else raises
+:class:`UnsupportedExpression`, signalling the caller to fall back to
+the interpreter (MonetDB similarly falls back to non-loop-lifted paths
+for exotic constructs).  Every :class:`UnsupportedExpression` carries a
+stable ``code`` plus a message starting with the offending AST node's
+type name (``"FLWOR: order by is outside the loop-lifted core"``), so
+fallback telemetry can histogram *why* a query wasn't lifted.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.algebra.paths import LIFTED_AXES, axis_step, equality_probe_step
+from repro.algebra.paths import (
+    LIFTED_AXES,
+    REVERSE_AXES,
+    axis_step,
+    equality_probe_step,
+    merge_exploded_contexts,
+    positional_filter,
+)
 from repro.algebra.table import Table
 from repro.errors import XRPCReproError
 from repro.xdm.atomic import AtomicValue, general_compare_pair, integer, string
@@ -40,6 +49,7 @@ from repro.xquery.evaluator import (
     _fuse_descendant_steps,
     _indexable_predicate_key_path,
     node_test_matches,
+    positional_predicate_spec,
 )
 
 
@@ -132,12 +142,42 @@ _DOT = "."
 
 
 class UnsupportedExpression(XRPCReproError):
-    """The expression is outside the loop-liftable core."""
+    """The expression is outside the loop-liftable core.
+
+    Carries a stable machine-readable ``code`` alongside the
+    human-readable message, so fallback telemetry can histogram *why*
+    queries were not lifted without parsing prose (the codes survive
+    message rewording):
+
+    ===================== ==================================================
+    code                  meaning
+    ===================== ==================================================
+    axis-not-lifted       a step uses an axis outside :data:`LIFTED_AXES`
+    step-not-lifted       a non-axis path step (filter-expression step)
+    expr-not-lifted       an expression kind outside the core
+    clause-not-lifted     a FLWOR clause kind outside the core
+    function-not-lifted   a function outside the row-wise builtins
+    comparison-not-lifted a non-general comparison
+    positional-runtime    a predicate produced a number at runtime
+    cardinality           more than one item where a singleton is required
+    unbound-variable      variable reference with no binding
+    context-item          path or ``.`` with no context item in scope
+    document              ``fn:doc`` unavailable or unresolvable
+    dispatch              ``execute at`` with no dispatch function
+    non-node-path         a path step over a non-node item
+    execute-at-routing    routed to the batching executor (peer layer)
+    ===================== ==================================================
+    """
+
+    def __init__(self, message: str, code: str = "expr-not-lifted") -> None:
+        super().__init__(message)
+        self.code = code
 
 
-def _unsupported(node: object, reason: str) -> UnsupportedExpression:
-    """Uniform fallback signal: ``<NodeType>: <reason>``."""
-    return UnsupportedExpression(f"{type(node).__name__}: {reason}")
+def _unsupported(node: object, reason: str,
+                 code: str = "expr-not-lifted") -> UnsupportedExpression:
+    """Uniform fallback signal: ``<NodeType>: <reason>`` plus a stable code."""
+    return UnsupportedExpression(f"{type(node).__name__}: {reason}", code)
 
 
 class LoopLiftingCompiler:
@@ -205,13 +245,15 @@ class LoopLiftingCompiler:
                 elif isinstance(clause, A.WhereClause):
                     self.preflight(clause.condition)
                 else:
-                    raise _unsupported(clause, "outside the loop-lifted core")
+                    raise _unsupported(clause, "outside the loop-lifted core",
+                                       "clause-not-lifted")
             self.preflight(expr.return_expr)
             return
         if isinstance(expr, A.ExecuteAt):
             if self.dispatch is None:
                 raise _unsupported(
-                    expr, "execute at requires a dispatch function")
+                    expr, "execute at requires a dispatch function",
+                    "dispatch")
             self.preflight(expr.destination)
             for arg in expr.call.args:
                 self.preflight(arg)
@@ -222,7 +264,8 @@ class LoopLiftingCompiler:
             return
         if isinstance(expr, A.Comparison):
             if expr.kind != "general":
-                raise _unsupported(expr, "only general comparisons are lifted")
+                raise _unsupported(expr, "only general comparisons are lifted",
+                                   "comparison-not-lifted")
             self.preflight(expr.left)
             self.preflight(expr.right)
             return
@@ -231,11 +274,13 @@ class LoopLiftingCompiler:
             if local == "doc" and len(expr.args) == 1:
                 if self.doc_resolver is None:
                     raise _unsupported(
-                        expr, "fn:doc requires a document resolver")
+                        expr, "fn:doc requires a document resolver",
+                        "document")
             elif local not in self._ROWWISE_STRING:
                 raise _unsupported(
                     expr,
-                    f"function {expr.name} is outside the loop-lifted core")
+                    f"function {expr.name} is outside the loop-lifted core",
+                    "function-not-lifted")
             for arg in expr.args:
                 self.preflight(arg)
             return
@@ -245,14 +290,15 @@ class LoopLiftingCompiler:
             for step in _fuse_descendant_steps(list(expr.steps)):
                 if not isinstance(step, A.AxisStep):
                     raise _unsupported(
-                        expr, f"step {type(step).__name__} is not lifted")
+                        expr, f"step {type(step).__name__} is not lifted",
+                        "step-not-lifted")
                 if step.axis not in LIFTED_AXES:
                     raise _unsupported(
-                        expr, f"axis {step.axis} is not lifted")
+                        expr, f"axis {step.axis} is not lifted",
+                        "axis-not-lifted")
                 for predicate in step.predicates:
-                    if isinstance(predicate, A.Literal):
-                        raise _unsupported(
-                            expr, "positional predicates are not lifted")
+                    if positional_predicate_spec(predicate) is not None:
+                        continue  # lifted as a rank computation
                     self.preflight(predicate)
             return
         raise _unsupported(expr, "outside the loop-lifted core")
@@ -267,12 +313,14 @@ class LoopLiftingCompiler:
                 [(it, 1, expr.value) for (it,) in loop.rows])
         if isinstance(expr, A.VarRef):
             if expr.name not in env:
-                raise _unsupported(expr, f"unbound variable ${expr.name}")
+                raise _unsupported(expr, f"unbound variable ${expr.name}",
+                                   "unbound-variable")
             return env[expr.name]
         if isinstance(expr, A.ContextItem):
             dot = env.get(_DOT)
             if dot is None:
-                raise _unsupported(expr, "no context item in scope")
+                raise _unsupported(expr, "no context item in scope",
+                                   "context-item")
             return dot
         if isinstance(expr, A.SequenceExpr):
             return self._compile_sequence(expr, loop, env)
@@ -329,7 +377,8 @@ class LoopLiftingCompiler:
         for it, pos, item in table.rows:
             if it in values:
                 raise UnsupportedExpression(
-                    f"{who} has more than one item per iteration")
+                    f"{who} has more than one item per iteration",
+                    "cardinality")
             values[it] = item
         return values
 
@@ -349,7 +398,8 @@ class LoopLiftingCompiler:
             elif isinstance(clause, A.WhereClause):
                 loop, env = self._apply_where(clause, loop, env)
             else:
-                raise _unsupported(clause, "outside the loop-lifted core")
+                raise _unsupported(clause, "outside the loop-lifted core",
+                                   "clause-not-lifted")
         result = self.compile_expr(expr.return_expr, loop, env)
         # Unwind nesting: map inner iterations back to outer ones.
         for mapping in reversed(maps):
@@ -419,7 +469,8 @@ class LoopLiftingCompiler:
     def _compile_comparison(self, expr: A.Comparison, loop: Table,
                             env: dict[str, Table]) -> Table:
         if expr.kind != "general":
-            raise _unsupported(expr, "only general comparisons are lifted")
+            raise _unsupported(expr, "only general comparisons are lifted",
+                               "comparison-not-lifted")
         left = self.compile_expr(expr.left, loop, env)
         right = self.compile_expr(expr.right, loop, env)
         op = {"=": "eq", "!=": "ne", "<": "lt",
@@ -455,7 +506,8 @@ class LoopLiftingCompiler:
         func = self._ROWWISE_STRING.get(local)
         if func is None:
             raise _unsupported(
-                expr, f"function {expr.name} is outside the loop-lifted core")
+                expr, f"function {expr.name} is outside the loop-lifted core",
+                "function-not-lifted")
         param_maps = [
             self._singleton_per_iter(
                 self.compile_expr(arg, loop, env),
@@ -479,20 +531,23 @@ class LoopLiftingCompiler:
                      env: dict[str, Table]) -> Table:
         """``fn:doc`` — the absolute path root over stored documents."""
         if self.doc_resolver is None:
-            raise _unsupported(expr, "fn:doc requires a document resolver")
+            raise _unsupported(expr, "fn:doc requires a document resolver",
+                               "document")
         uris = self._singleton_per_iter(
             self.compile_expr(expr.args[0], loop, env),
             "FunctionCall: fn:doc uri")
         rows = []
         for (it,) in loop.rows:
             if it not in uris:
-                raise _unsupported(expr, "fn:doc with an empty uri")
+                raise _unsupported(expr, "fn:doc with an empty uri",
+                                   "document")
             uri = atomize([uris[it]])[0].string_value()
             document = self._documents.get(uri)
             if document is None:
                 document = self.doc_resolver(uri)
                 if document is None:
-                    raise _unsupported(expr, f"document {uri!r} not found")
+                    raise _unsupported(expr, f"document {uri!r} not found",
+                                       "document")
                 self._documents[uri] = document
             rows.append((it, 1, document))
         return Table(("iter", "pos", "item"), rows)
@@ -513,12 +568,14 @@ class LoopLiftingCompiler:
         if expr.absolute != "none":
             dot = env.get(_DOT)
             if dot is None:
-                raise _unsupported(expr, "absolute path without a context item")
+                raise _unsupported(expr, "absolute path without a context item",
+                                   "context-item")
             rows = []
             for it, pos, item in dot.rows:
                 if not isinstance(item, Node):
                     raise _unsupported(
-                        expr, "absolute path over a non-node context item")
+                        expr, "absolute path over a non-node context item",
+                        "non-node-path")
                 rows.append((it, 1, item.root()))
             current = Table(("iter", "pos", "item"), rows)
             if expr.absolute == "root-descendant":
@@ -527,14 +584,16 @@ class LoopLiftingCompiler:
         elif expr.start is None:
             dot = env.get(_DOT)
             if dot is None:
-                raise _unsupported(expr, "relative path without a context item")
+                raise _unsupported(expr, "relative path without a context item",
+                                   "context-item")
             current = dot
         else:
             current = self.compile_expr(expr.start, loop, env)
         for step in _fuse_descendant_steps(steps):
             if not isinstance(step, A.AxisStep):
                 raise _unsupported(
-                    expr, f"step {type(step).__name__} is not lifted")
+                    expr, f"step {type(step).__name__} is not lifted",
+                    "step-not-lifted")
             current = self._compile_axis_step(expr, step, current, loop, env)
         return current
 
@@ -543,27 +602,65 @@ class LoopLiftingCompiler:
                            env: dict[str, Table]) -> Table:
         axis = step.axis
         if axis not in LIFTED_AXES:
-            raise _unsupported(expr, f"axis {axis} is not lifted")
+            raise _unsupported(expr, f"axis {axis} is not lifted",
+                               "axis-not-lifted")
         test = step.node_test
         local = None
         if isinstance(test, A.NameTest) and test.local != "*":
             local = test.local
         match_all = isinstance(test, A.KindTest) and test.kind == "node"
-        probed = self._try_equality_probe(step, current, loop, env)
-        if probed is not None:
-            return probed
+        matches = lambda node: node_test_matches(node, test, axis, self.static)
+        specs = [positional_predicate_spec(p) for p in step.predicates]
+        if not any(spec is not None for spec in specs):
+            probed = self._try_equality_probe(step, current, loop, env)
+            if probed is not None:
+                return probed
+            try:
+                result = axis_step(current, axis, matches=matches,
+                                   local_name=local, match_all=match_all)
+            except ValueError as error:
+                raise _unsupported(expr, str(error), "non-node-path")
+            if step.predicates:
+                result = self._apply_step_predicates(expr, result,
+                                                     step.predicates, env)
+            return result
+        # Positional regime: position()/last() count within EACH context
+        # node's candidate window, which the set-at-a-time step folds
+        # away — so explode the context into one inner iteration per
+        # context node (the for-clause map construction), rank each
+        # window, and merge back to step semantics afterwards.
+        numbered = current.rownum("inner", order_by=("iter", "pos"))
+        mapping = numbered.project("outer:iter", "inner")
+        lifted_env: dict[str, Table] = {}
+        for name, bound in env.items():
+            joined = bound.join(mapping, "iter", "outer")
+            lifted_env[name] = joined.project("iter:inner", "pos", "item") \
+                                     .sort("iter", "pos")
+        exploded = numbered.project("iter:inner", "item") \
+                           .attach("pos", 1).project("iter", "pos", "item")
+        reverse = axis in REVERSE_AXES
+        # A leading [n] early-exits the window scan after the n-th hit in
+        # axis order — the rank filter result is identical on the
+        # truncated window (forward: first n keep their ranks; reverse:
+        # the n-th-from-the-end keeps rank n).
+        limit = None
+        if specs[0] is not None and specs[0][0] == "literal":
+            n = specs[0][1]
+            if n == int(n) and n >= 1:
+                limit = int(n)
         try:
-            result = axis_step(
-                current, axis,
-                matches=lambda node: node_test_matches(
-                    node, test, axis, self.static),
-                local_name=local, match_all=match_all)
+            result = axis_step(exploded, axis, matches=matches,
+                               local_name=local, match_all=match_all,
+                               limit=limit)
         except ValueError as error:
-            raise _unsupported(expr, str(error))
-        if step.predicates:
-            result = self._apply_step_predicates(expr, result,
-                                                 step.predicates, env)
-        return result
+            raise _unsupported(expr, str(error), "non-node-path")
+        for spec, predicate in zip(specs, step.predicates):
+            if spec is not None:
+                result = positional_filter(result, spec, reverse=reverse)
+            else:
+                result = self._apply_step_predicates(expr, result,
+                                                     [predicate], lifted_env)
+        return merge_exploded_contexts(result, mapping)
 
     def _try_equality_probe(self, step: A.AxisStep, current: Table,
                             loop: Table, env: dict[str, Table],
@@ -608,19 +705,19 @@ class LoopLiftingCompiler:
 
     def _apply_step_predicates(self, expr: A.PathExpr, table: Table,
                                predicates: list, env: dict[str, Table]) -> Table:
-        """Filter step candidates by simple (non-positional) predicates.
+        """Filter step candidates by effective-boolean-value predicates.
 
         Every candidate row becomes one inner iteration — the same map
         construction as a for-clause — with the candidate bound as the
         context item; the predicate compiles under that inner loop and
-        filters by effective boolean value.  Positional predicates
-        (numeric values) are not lifted: their semantics depend on the
-        per-context candidate numbering the set-at-a-time step folds
-        away, so they signal interpreter fallback.
+        filters by effective boolean value.  Statically positional
+        predicates never reach here (``_compile_axis_step`` routes them
+        through :func:`repro.algebra.paths.positional_filter`); a
+        predicate whose *runtime* value turns out numeric still bails,
+        because its semantics depend on a numbering this code path does
+        not track.
         """
         for predicate in predicates:
-            if isinstance(predicate, A.Literal):
-                raise _unsupported(expr, "positional predicates are not lifted")
             numbered = table.rownum("inner", order_by=("iter", "pos"))
             mapping = numbered.project("outer:iter", "inner")
             inner_loop = mapping.project("iter:inner")
@@ -641,7 +738,8 @@ class LoopLiftingCompiler:
                 if len(items) == 1 and isinstance(items[0], AtomicValue) \
                         and items[0].is_numeric:
                     raise _unsupported(
-                        expr, "positional predicates are not lifted")
+                        expr, "predicate value is numeric at runtime",
+                        "positional-runtime")
                 if effective_boolean_value(items):
                     keep.add(it)
             inner_index = numbered.col("inner")
@@ -658,7 +756,8 @@ class LoopLiftingCompiler:
     def _compile_execute_at(self, expr: A.ExecuteAt, loop: Table,
                             env: dict[str, Table]) -> Table:
         if self.dispatch is None:
-            raise _unsupported(expr, "execute at requires a dispatch function")
+            raise _unsupported(expr, "execute at requires a dispatch function",
+                               "dispatch")
         dst = self.compile_expr(expr.destination, loop, env)
         params = [self.compile_expr(arg, loop, env) for arg in expr.call.args]
 

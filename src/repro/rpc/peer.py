@@ -62,6 +62,7 @@ class QueryResult:
     # Unified-pipeline telemetry (the session API's explain surface).
     plan: Optional[str] = None            # "lifted" | "interpreter"
     fallback_reason: Optional[str] = None
+    fallback_code: Optional[str] = None
     compile_seconds: float = 0.0
     cache_hit: bool = False
     # Update-path cost of this query's local PUL application (deltas of
@@ -76,6 +77,7 @@ class QueryResult:
         return Explain(
             plan=self.plan or "interpreter",
             fallback_reason=self.fallback_reason,
+            fallback_code=self.fallback_code,
             compile_seconds=self.compile_seconds,
             execute_seconds=self.elapsed_seconds,
             cache_hit=self.cache_hit,
@@ -236,6 +238,7 @@ class XRPCPeer:
 
         plan = "interpreter"
         fallback_reason = None
+        fallback_code = None
         result: list = []
         pul = PendingUpdateList()
         if context.try_lifted:
@@ -244,13 +247,15 @@ class XRPCPeer:
                 fallback_reason = (
                     f"ExecuteAt: {sites} call sites group better through "
                     "the batching executor")
+                fallback_code = "execute-at-routing"
             elif has_updating:
                 fallback_reason = (
                     "ExecuteAt: updating remote calls route through the "
                     "batching executor (no speculative shipping)")
+                fallback_code = "execute-at-routing"
             else:
-                lifted, fallback_reason = self.engine.attempt_lifted(
-                    source, compiled, context)
+                lifted, fallback_reason, fallback_code = \
+                    self.engine.attempt_lifted(source, compiled, context)
                 if fallback_reason is None:
                     result = lifted
                     plan = "lifted"
@@ -259,7 +264,7 @@ class XRPCPeer:
                 result, pul = self._execute_bulk(compiled, session, context)
             else:
                 result, pul = self._execute_direct(compiled, session, context)
-        self.engine.record_plan(plan, fallback_reason)
+        self.engine.record_plan(plan, fallback_reason, fallback_code)
 
         committed = False
         if query_id is not None and session.participants:
@@ -281,6 +286,7 @@ class XRPCPeer:
             committed_2pc=committed,
             plan=plan,
             fallback_reason=fallback_reason,
+            fallback_code=fallback_code,
             compile_seconds=compile_seconds,
             cache_hit=cache_hit,
             reencodes_full=encoding_after["reencodes_full"]

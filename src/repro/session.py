@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Union
 
 from repro.engine import Engine
@@ -95,7 +95,10 @@ class DatabaseStats:
     update path has been doing: ``reencodes_subtree`` counts O(change)
     splices, ``reencodes_full`` the whole-tree fallbacks, and
     ``index_patches`` in-place :class:`StructuralIndex` maintenance
-    (versus ``index_builds`` full rebuilds).
+    (versus ``index_builds`` full rebuilds).  ``fallback_reasons`` is
+    the engine's per-reason histogram: stable
+    :class:`~repro.pathfinder.compiler.UnsupportedExpression` code ->
+    count of lifted attempts that bailed with it.
     """
 
     plan_cache_hits: int
@@ -112,6 +115,7 @@ class DatabaseStats:
     gap_respreads: int = 0
     index_patches: int = 0
     index_builds: int = 0
+    fallback_reasons: dict = field(default_factory=dict)
 
 
 class PreparedQuery:
@@ -278,6 +282,7 @@ class Database:
                 gap_respreads=encoding["gap_respreads"],
                 index_patches=encoding["index_patches"],
                 index_builds=encoding["index_builds"],
+                fallback_reasons=self.engine.fallback_stats(),
             )
 
     # -- internals ---------------------------------------------------------

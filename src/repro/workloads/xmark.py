@@ -119,3 +119,40 @@ def generate_auctions(config: XMarkConfig) -> str:
             f"<description><text>{_text(rng, 8)}</text></description></item>")
     parts.append("</europe></regions></site>")
     return "".join(parts)
+
+
+#: The XMark-like read suite: every axis the lifted core supports plus
+#: the statically positional predicate shapes, phrased over the two
+#: generated documents (registered as ``persons.xml`` /
+#: ``auctions.xml``).  The whole suite must execute with ``plan ==
+#: "lifted"`` and no fallback — CI asserts 100% coverage — and doubles
+#: as the per-axis microbench workload.
+READ_SUITE: dict[str, str] = {
+    "child-chain": "doc('persons.xml')/site/people/person/name",
+    "descendant": "doc('auctions.xml')//closed_auction/price",
+    "descendant-or-self": "doc('auctions.xml')//closed_auction//text",
+    "attribute": "doc('auctions.xml')//buyer/@person",
+    "self": "doc('persons.xml')//person/self::*",
+    "parent": "doc('persons.xml')//city/parent::address",
+    "ancestor": "doc('persons.xml')//city/ancestor::person/name",
+    "ancestor-or-self": "doc('persons.xml')//city/ancestor-or-self::*",
+    "following": "doc('auctions.xml')//seller/following::price",
+    "preceding": "doc('auctions.xml')//price/preceding::seller",
+    "following-sibling":
+        "doc('auctions.xml')//seller/following-sibling::itemref",
+    "preceding-sibling":
+        "doc('auctions.xml')//itemref/preceding-sibling::seller",
+    "wildcard": "doc('persons.xml')//address/*",
+    "positional-first": "doc('persons.xml')//person[1]/name",
+    "positional-literal": "doc('auctions.xml')//closed_auction/*[2]",
+    "positional-last": "doc('auctions.xml')//closed_auction/*[last()]",
+    "position-range": "doc('persons.xml')//person/*[position() >= 2]",
+    "position-eq-last": "doc('persons.xml')//person/*[position() = last()]",
+    "positional-reverse": "doc('persons.xml')//city/ancestor::*[2]",
+    "positional-preceding": "doc('persons.xml')//city/preceding::name[1]",
+    "predicate-equality":
+        "doc('auctions.xml')//closed_auction[buyer/@person = 'person0']"
+        "/price",
+    "flwor-paths":
+        "for $p in doc('persons.xml')//person return $p/address/city",
+}

@@ -44,6 +44,7 @@ keys need no changes there.
 from __future__ import annotations
 
 import threading
+from array import array
 from bisect import bisect_left, bisect_right, insort
 from typing import Callable, Iterator, Optional
 
@@ -122,6 +123,12 @@ class StructuralIndex:
     ``sizes[pre]`` is the number of tree nodes in the subtree below it,
     so the descendant window of ``pre`` is ``(pre, pre + sizes[pre]]``.
     ``levels[pre]`` is the depth below the tree root.
+
+    ``sizes`` and ``levels`` are flat ``array.array("q")`` planes (the
+    node row array stays a Python list of node objects): window kernels
+    bisect and slice contiguous machine-word columns instead of chasing
+    a pointer per comparison, and the O(change) update path splices the
+    planes in place with the same slice operations as the node rows.
     """
 
     __slots__ = ("root", "generation", "stale", "nodes", "sizes", "levels",
@@ -165,8 +172,8 @@ class StructuralIndex:
                 attribute._sidx = self
             stack.append((pre, iter(child.children)))
         self.nodes = nodes
-        self.sizes = sizes
-        self.levels = levels
+        self.sizes = array("q", sizes)
+        self.levels = array("q", levels)
         self.pre_of = pre_of
         ENCODING_STATS.bump("index_builds")
 
@@ -287,8 +294,9 @@ class StructuralIndex:
                 stack.append((child_offset, iter(child.children)))
         count = len(new_nodes)
         self.nodes[pos:pos] = new_nodes
-        self.sizes[pos:pos] = new_sizes
-        self.levels[pos:pos] = new_levels
+        # array.array slice assignment requires a same-typecode array.
+        self.sizes[pos:pos] = array("q", new_sizes)
+        self.levels[pos:pos] = array("q", new_levels)
         evict: set[int] = set()
         ancestor: Optional[Node] = parent
         while ancestor is not None:
@@ -844,6 +852,38 @@ def split_context(index: StructuralIndex,
     return ctx_pres, attr_members
 
 
+def _preceding_ranges(index: StructuralIndex, boundary: int,
+                      local_name: Optional[str]) -> list[int]:
+    """Pre ranks of ``preceding(boundary)`` in document order.
+
+    The preceding window is ``[0, boundary)`` minus the boundary's
+    ancestors; since the ancestors partition that interval, the result
+    is the concatenation of the contiguous ranges between consecutive
+    ancestor ranks — no per-candidate membership test, and with a tag
+    partition each range is one bisect + slice.
+    """
+    ancestors = sorted(index.ancestor_pres(boundary))
+    out: list[int] = []
+    if local_name is None:
+        low = 0
+        for a in ancestors:
+            out.extend(range(low, a))
+            low = a + 1
+        out.extend(range(low, boundary))
+        return out
+    pres = index.name_pres(local_name)
+    low = 0
+    lo = 0
+    for a in ancestors:
+        hi = bisect_left(pres, a, lo)
+        out.extend(pres[lo:hi])
+        low = a + 1
+        lo = bisect_left(pres, low, hi)
+    hi = bisect_left(pres, boundary, lo)
+    out.extend(pres[lo:hi])
+    return out
+
+
 def axis_window_scan(index: StructuralIndex, axis: str,
                      ctx_pres: list[int], attr_members: list[Node],
                      matches: Callable[[Node], bool],
@@ -967,10 +1007,15 @@ def axis_window_scan(index: StructuralIndex, axis: str,
     elif axis == "preceding":
         starts = ctx_pres + owner_pres
         if starts:
+            # preceding(p1) ⊆ preceding(p2) for p1 < p2, so the whole
+            # context collapses to the max boundary's window.  Instead
+            # of materialising [0, boundary) and testing every rank
+            # against the ancestor set, emit the contiguous ranges
+            # *between* the boundary's ancestor ranks — the window
+            # shrinks to exactly the preceding rows, and the tag
+            # partition case bisects each range instead of filtering.
             boundary = max(starts)
-            ancestors = set(index.ancestor_pres(boundary))
-            out_pres = [q for q in index.before(boundary, local_name)
-                        if q not in ancestors]
+            out_pres = _preceding_ranges(index, boundary, local_name)
     else:  # pragma: no cover - callers restrict axes
         raise ValueError(f"unknown axis {axis}")
 
@@ -986,20 +1031,29 @@ def axis_window_scan(index: StructuralIndex, axis: str,
 
 
 #: The axes :func:`axis_scan_batched` supports — declared next to the
-#: implementation so callers gating on it cannot drift.  Downward axes
-#: plus ``parent`` (the level−1 ancestor: exactly one row per context,
-#: so single-node contexts need no staircase pruning either).
+#: implementation so callers gating on it cannot drift.  All twelve
+#: XPath axes: a single context node needs no staircase pruning, so
+#: each context's scan is an independent window kernel.
 BATCHED_AXES = frozenset(
     ("self", "child", "descendant", "descendant-or-self", "attribute",
-     "parent"))
+     "parent", "ancestor", "ancestor-or-self", "following", "preceding",
+     "following-sibling", "preceding-sibling"))
+
+#: Axes whose predicate positions count in *reverse* document order
+#: (XPath: position 1 is the nearest ancestor / closest preceding
+#: node).  Step output is document-ordered regardless — only the
+#: positional-predicate rank computation flips direction.
+REVERSE_AXES = frozenset(
+    ("ancestor", "ancestor-or-self", "preceding", "preceding-sibling"))
 
 
 def axis_scan_batched(index: StructuralIndex, axis: str,
                       pairs: list[tuple],
                       matches: Callable[[Node], bool],
                       local_name: Optional[str] = None,
-                      match_all: bool = False) -> list[tuple]:
-    """Set-at-a-time downward-axis scan over many single-node contexts.
+                      match_all: bool = False,
+                      limit: Optional[int] = None) -> list[tuple]:
+    """Set-at-a-time axis scan over many single-node contexts.
 
     *pairs* is ``[(tag, pre), ...]`` — one context node per tag (a
     loop-lifted iteration), tags in emission order.  One call scans
@@ -1009,17 +1063,36 @@ def axis_scan_batched(index: StructuralIndex, axis: str,
     :func:`axis_window_scan` the algebra layer uses for the
     overwhelmingly common one-context-per-iteration plans.
 
-    Downward axes plus ``parent`` only: a single context node needs no
-    staircase pruning, so each context's scan is independent.
+    The windows per axis: descendant is ``(p, p+size]``; child is
+    descendant ∧ ``level = level+1`` (the size-skip scan, or the tag
+    partition with a level filter); following is ``pre > p+size``
+    (everything past the subtree — ancestors precede ``p``, so the
+    boundary alone suffices); preceding is ``[0, p)`` minus the
+    ancestor ranks, emitted as the contiguous ranges between them;
+    siblings are the parent's window with size-skips; ancestors walk
+    the (cached-rank) parent chain.
+
+    ``limit`` keeps only each context's first *limit* matches in *axis
+    order* — the early-exit for a leading positional ``[n]`` predicate:
+    forward axes stop scanning after the limit-th hit, reverse axes
+    keep the last *limit* document-ordered matches (their first in axis
+    order).  Output rows stay in document order either way.
     """
     nodes = index.nodes
     sizes = index.sizes
+    rank_of = index.rank_of
     out: list[tuple] = []
+    if limit is not None and limit <= 0:
+        return out
     if axis == "attribute":
         for tag, p in pairs:
+            emitted = 0
             for attribute in nodes[p].attributes:
                 if matches(attribute):
                     out.append((tag, attribute))
+                    emitted += 1
+                    if emitted == limit:
+                        break
     elif axis == "self":
         for tag, p in pairs:
             node = nodes[p]
@@ -1041,42 +1114,151 @@ def axis_scan_batched(index: StructuralIndex, axis: str,
                 child_level = levels[p] + 1
                 lo = bisect_right(pres, p)
                 hi = bisect_right(pres, p + sizes[p], lo)
+                emitted = 0
                 for q in pres[lo:hi]:
                     if levels[q] == child_level:
                         node = nodes[q]
                         if matches(node):
                             out.append((tag, node))
+                            emitted += 1
+                            if emitted == limit:
+                                break
         else:
             for tag, p in pairs:
                 end = p + sizes[p]
                 q = p + 1
+                emitted = 0
                 while q <= end:
                     node = nodes[q]
                     if match_all or matches(node):
                         out.append((tag, node))
+                        emitted += 1
+                        if emitted == limit:
+                            break
                     q += sizes[q] + 1
     elif axis in ("descendant", "descendant-or-self"):
         include_self = axis == "descendant-or-self"
         if local_name is not None:
             pres = index.name_pres(local_name)
             for tag, p in pairs:
+                emitted = 0
                 if include_self:
                     node = nodes[p]
                     if matches(node):
                         out.append((tag, node))
+                        emitted += 1
+                if emitted == limit:
+                    continue
                 lo = bisect_right(pres, p)
                 hi = bisect_right(pres, p + sizes[p], lo)
                 for q in pres[lo:hi]:
                     node = nodes[q]
                     if matches(node):
                         out.append((tag, node))
+                        emitted += 1
+                        if emitted == limit:
+                            break
         else:
             for tag, p in pairs:
                 start = p if include_self else p + 1
+                emitted = 0
                 for q in range(start, p + sizes[p] + 1):
                     node = nodes[q]
                     if match_all or matches(node):
                         out.append((tag, node))
+                        emitted += 1
+                        if emitted == limit:
+                            break
+    elif axis in ("ancestor", "ancestor-or-self"):
+        # Axis order is nearest-first (reverse document order): collect
+        # up the chain — the early exit truncates there — then reverse
+        # into document order for emission.
+        for tag, p in pairs:
+            chain: list[Node] = []
+            node = nodes[p]
+            if axis == "ancestor-or-self" and (match_all or matches(node)):
+                chain.append(node)
+            if limit is None or len(chain) < limit:
+                parent = node.parent
+                while parent is not None:
+                    if match_all or matches(parent):
+                        chain.append(parent)
+                        if limit is not None and len(chain) == limit:
+                            break
+                    parent = parent.parent
+            for node in reversed(chain):
+                out.append((tag, node))
+    elif axis == "following-sibling":
+        for tag, p in pairs:
+            parent = nodes[p].parent
+            if parent is None:
+                continue
+            pp = rank_of(parent)
+            end = pp + sizes[pp]
+            q = p + sizes[p] + 1
+            emitted = 0
+            while q <= end:
+                node = nodes[q]
+                if match_all or matches(node):
+                    out.append((tag, node))
+                    emitted += 1
+                    if emitted == limit:
+                        break
+                q += sizes[q] + 1
+    elif axis == "preceding-sibling":
+        # Size-skips only run forward, so collect the parent's window in
+        # document order and keep the *last* limit matches (nearest
+        # siblings first in axis order).
+        for tag, p in pairs:
+            parent = nodes[p].parent
+            if parent is None:
+                continue
+            pp = rank_of(parent)
+            collected: list[Node] = []
+            q = pp + 1
+            while q < p:
+                node = nodes[q]
+                if match_all or matches(node):
+                    collected.append(node)
+                q += sizes[q] + 1
+            if limit is not None:
+                collected = collected[-limit:]
+            for node in collected:
+                out.append((tag, node))
+    elif axis == "following":
+        if local_name is not None:
+            pres = index.name_pres(local_name)
+            for tag, p in pairs:
+                emitted = 0
+                for q in pres[bisect_right(pres, p + sizes[p]):]:
+                    node = nodes[q]
+                    if matches(node):
+                        out.append((tag, node))
+                        emitted += 1
+                        if emitted == limit:
+                            break
+        else:
+            total = len(nodes)
+            for tag, p in pairs:
+                emitted = 0
+                for q in range(p + sizes[p] + 1, total):
+                    node = nodes[q]
+                    if match_all or matches(node):
+                        out.append((tag, node))
+                        emitted += 1
+                        if emitted == limit:
+                            break
+    elif axis == "preceding":
+        for tag, p in pairs:
+            collected = []
+            for q in _preceding_ranges(index, p, local_name):
+                node = nodes[q]
+                if match_all or matches(node):
+                    collected.append(node)
+            if limit is not None:
+                collected = collected[-limit:]
+            for node in collected:
+                out.append((tag, node))
     else:  # pragma: no cover - callers restrict axes
         raise ValueError(f"axis {axis} is not a batched axis")
     return out

@@ -46,6 +46,7 @@ from repro.xdm.sequence import (
     effective_boolean_value,
 )
 from repro.xdm.structural import (
+    _preceding_ranges,
     axis_window_scan,
     split_context,
     structural_index,
@@ -560,9 +561,10 @@ class Evaluator:
         if axis == "following":
             return nodes[p + sizes[p] + 1:]
         if axis == "preceding":
-            ancestors = set(index.ancestor_pres(p))
-            return [nodes[q] for q in range(p - 1, -1, -1)
-                    if q not in ancestors]
+            # Shrunk windows: the ranges between consecutive ancestor
+            # ranks, reversed into the axis's nearest-first order.
+            return [nodes[q]
+                    for q in reversed(_preceding_ranges(index, p, None))]
         raise DynamicError("XPST0003", f"unknown axis {axis}")
 
     # -- equality-predicate index ------------------------------------------
@@ -1259,6 +1261,86 @@ def _statically_boolean(predicate: A.Expr) -> bool:
             "boolean", "true", "false", "matches", "deep-equal",
             "doc-available")
     return False
+
+
+def _is_fn_call(expr: A.Expr, local: str) -> bool:
+    """Zero-argument call of the built-in *local* (``fn:`` or bare)."""
+    return (isinstance(expr, A.FunctionCall) and not expr.args
+            and expr.name.split(":")[-1] == local)
+
+
+def _positional_operand(expr: A.Expr) -> Optional[tuple]:
+    if isinstance(expr, A.Literal) and expr.value.is_numeric:
+        return ("lit", float(expr.value.value))
+    if _is_fn_call(expr, "last"):
+        return ("last",)
+    return None
+
+
+_OP_NORMALIZE = {"=": "eq", "!=": "ne", "<": "lt", "<=": "le",
+                 ">": "gt", ">=": "ge",
+                 "eq": "eq", "ne": "ne", "lt": "lt", "le": "le",
+                 "gt": "gt", "ge": "ge"}
+
+#: position() on the *right* of the comparison mirrors the operator.
+_OP_FLIP = {"eq": "eq", "ne": "ne", "lt": "gt", "le": "ge",
+            "gt": "lt", "ge": "le"}
+
+
+def positional_predicate_spec(predicate: A.Expr) -> Optional[tuple]:
+    """Recognize the statically positional predicate shapes.
+
+    Returns a spec tuple — ``("literal", n)`` for a numeric literal
+    predicate, ``("last",)`` for bare ``last()``, or ``("pos-cmp", op,
+    operand)`` for a ``position()`` comparison where *operand* is
+    ``("lit", n)`` or ``("last",)`` and *op* is normalized to
+    ``eq/ne/lt/le/gt/ge`` — or None when the predicate is not one of
+    these shapes (it then filters by its runtime value as usual).
+    Shared by the interpreter and the pathfinder compiler so both rank
+    windows identically.
+    """
+    if isinstance(predicate, A.Literal) and predicate.value.is_numeric:
+        return ("literal", float(predicate.value.value))
+    if _is_fn_call(predicate, "last"):
+        return ("last",)
+    if isinstance(predicate, A.Comparison) \
+            and predicate.kind in ("general", "value"):
+        op = _OP_NORMALIZE.get(predicate.op)
+        if op is None:
+            return None
+        if _is_fn_call(predicate.left, "position"):
+            operand = _positional_operand(predicate.right)
+            if operand is not None:
+                return ("pos-cmp", op, operand)
+        if _is_fn_call(predicate.right, "position"):
+            operand = _positional_operand(predicate.left)
+            if operand is not None:
+                return ("pos-cmp", _OP_FLIP[op], operand)
+    return None
+
+
+def positional_spec_keep(spec: tuple, position: int, count: int) -> bool:
+    """Does the item at 1-based *position* in a *count*-item window
+    survive *spec*?  Float comparisons mirror XPath numeric predicate
+    semantics (``[1.5]`` keeps nothing)."""
+    kind = spec[0]
+    if kind == "literal":
+        return position == spec[1]
+    if kind == "last":
+        return position == count
+    op = spec[1]
+    target = float(count) if spec[2] == ("last",) else spec[2][1]
+    if op == "eq":
+        return position == target
+    if op == "ne":
+        return position != target
+    if op == "lt":
+        return position < target
+    if op == "le":
+        return position <= target
+    if op == "gt":
+        return position > target
+    return position >= target
 
 
 def _indexable_predicate_key_path(predicate: A.Expr) -> Optional[tuple]:

@@ -66,8 +66,8 @@ def assert_index_matches_rebuild(root):
                list(patched.levels))
     fresh = StructuralIndex(root, generation=0)
     assert columns[0] == fresh.nodes
-    assert columns[1] == fresh.sizes
-    assert columns[2] == fresh.levels
+    assert columns[1] == list(fresh.sizes)
+    assert columns[2] == list(fresh.levels)
     for name, pres in patched_names.items():
         assert pres == fresh.name_pres(name), name
 

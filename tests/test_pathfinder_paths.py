@@ -170,10 +170,31 @@ class TestPredicates:
             "return doc('persons.xml')//person[@id = $id]/name",
             resolver)
 
-    def test_positional_predicate_falls_back(self, resolver):
-        with pytest.raises(UnsupportedExpression, match="PathExpr"):
-            LoopLiftedQuery("doc('persons.xml')//person[1]",
-                            doc_resolver=resolver).run()
+    def test_positional_predicate_lifts(self, resolver):
+        assert_equivalent("doc('persons.xml')//person[1]/name", resolver)
+
+    def test_positional_last_lifts(self, resolver):
+        assert_equivalent("doc('persons.xml')//person[last()]/name", resolver)
+
+    def test_position_comparison_lifts(self, resolver):
+        assert_equivalent(
+            "doc('persons.xml')//person/*[position() >= 2]", resolver)
+
+    def test_positional_on_reverse_axis(self, resolver):
+        assert_equivalent(
+            "doc('persons.xml')//city/ancestor::*[2]", resolver)
+        assert_equivalent(
+            "doc('persons.xml')//city/preceding::name[1]", resolver)
+
+    def test_positional_mixed_with_boolean_predicate(self, resolver):
+        assert_equivalent(
+            "doc('auctions.xml')//closed_auction[seller]/*[2]", resolver)
+
+    def test_out_of_range_positions_are_empty(self, resolver):
+        assert_equivalent("doc('persons.xml')//person[0]", resolver,
+                          nonempty=False)
+        assert_equivalent("doc('persons.xml')//person[1.5]", resolver,
+                          nonempty=False)
 
 
 class TestContextItemRoots:
@@ -198,23 +219,44 @@ class TestContextItemRoots:
                           context_item=element)
 
 
-class TestFallbackTelemetry:
-    """Unsupported constructs name their AST node type uniformly, and
-    the engine records plan choice + reason."""
+class TestClosedAxes:
+    """The axes that used to bail to the interpreter now lift as window
+    kernels and match it node for node."""
 
-    @pytest.mark.parametrize("query,node_type", [
-        ("doc('persons.xml')//person/ancestor::site", "PathExpr"),
-        ("doc('persons.xml')//name/following::person", "PathExpr"),
-        ("doc('persons.xml')//address/preceding::name", "PathExpr"),
-        ("doc('persons.xml')//person/following-sibling::person", "PathExpr"),
-        ("<wrapper/>", "DirectElement"),
-        ("for $x in (2, 1) order by $x return $x", "OrderByClause"),
-        ("count(doc('persons.xml')//person)", "FunctionCall"),
+    @pytest.mark.parametrize("query", [
+        "doc('persons.xml')//person/ancestor::site",
+        "doc('persons.xml')//city/ancestor::person/name",
+        "doc('persons.xml')//city/ancestor-or-self::*",
+        "doc('persons.xml')//name/following::person",
+        "doc('persons.xml')//address/preceding::name",
+        "doc('persons.xml')//person/following-sibling::person",
+        "doc('auctions.xml')//seller/following-sibling::itemref",
+        "doc('auctions.xml')//itemref/preceding-sibling::seller",
+        "doc('auctions.xml')//seller/following::price",
+        "doc('auctions.xml')//price/preceding::seller",
     ])
-    def test_fallback_names_node_type(self, resolver, query, node_type):
+    def test_closed_axis_equivalence(self, resolver, query):
+        assert_equivalent(query, resolver)
+
+
+class TestFallbackTelemetry:
+    """Unsupported constructs name their AST node type uniformly and
+    carry a stable code, and the engine records plan choice + reason."""
+
+    @pytest.mark.parametrize("query,node_type,code", [
+        ("<wrapper/>", "DirectElement", "expr-not-lifted"),
+        ("for $x in (2, 1) order by $x return $x", "OrderByClause",
+         "clause-not-lifted"),
+        ("count(doc('persons.xml')//person)", "FunctionCall",
+         "function-not-lifted"),
+        ("doc('persons.xml')//person[name is name]", "Comparison",
+         "comparison-not-lifted"),
+    ])
+    def test_fallback_names_node_type(self, resolver, query, node_type, code):
         with pytest.raises(UnsupportedExpression) as excinfo:
             LoopLiftedQuery(query, doc_resolver=resolver).run()
         assert str(excinfo.value).startswith(node_type + ":")
+        assert excinfo.value.code == code
 
     def test_engine_records_lifted_plan(self, resolver):
         engine = Engine()
@@ -227,11 +269,21 @@ class TestFallbackTelemetry:
     def test_engine_falls_back_with_reason(self, resolver):
         engine = Engine()
         result = engine.execute_lifted(
+            "count(doc('persons.xml')//person)", doc_resolver=resolver)
+        assert engine.last_plan == "interpreter"
+        assert engine.last_fallback_reason.startswith("FunctionCall:")
+        assert engine.last_fallback_code == "function-not-lifted"
+        assert engine.fallback_stats() == {"function-not-lifted": 1}
+        assert len(result) == 1
+
+    def test_formerly_falling_axes_now_run_lifted(self, resolver):
+        engine = Engine()
+        result = engine.execute_lifted(
             "doc('persons.xml')//name/ancestor::person",
             doc_resolver=resolver)
-        assert engine.last_plan == "interpreter"
-        assert engine.last_fallback_reason.startswith("PathExpr:")
-        assert "ancestor" in engine.last_fallback_reason
+        assert engine.last_plan == "lifted"
+        assert engine.last_fallback_reason is None
+        assert engine.fallback_stats() == {}
         assert len(result) == CONFIG.persons
 
     def test_engine_fallback_matches_interpreter(self, resolver):

@@ -326,6 +326,20 @@ _PROBE_QUERIES = (
     "doc('r.xml')//item[@v = 's1i1']",
     "doc('r.xml')/root/*/*",
     "doc('r.xml')//text()",
+    # The axes closed by the lifted window kernels, plus positional
+    # predicates — probed between updates so the incremental index
+    # patches must keep every window formula correct.
+    "doc('r.xml')//item/ancestor::*",
+    "doc('r.xml')//item/ancestor-or-self::node()",
+    "doc('r.xml')//item/following::item",
+    "doc('r.xml')//item/preceding::item",
+    "doc('r.xml')//item/following-sibling::*",
+    "doc('r.xml')//item/preceding-sibling::*",
+    "doc('r.xml')//item[1]",
+    "doc('r.xml')//item[last()]",
+    "doc('r.xml')/root/*[position() >= 2]",
+    "doc('r.xml')//item/ancestor::*[2]",
+    "doc('r.xml')//item/preceding::item[1]",
 )
 
 

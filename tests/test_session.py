@@ -302,14 +302,23 @@ class TestPeerUnifiedPipeline:
         assert result.explain().fallback_reason is None
         assert len(result.sequence) == CONFIG.persons
 
-    def test_unsupported_query_falls_back_with_reason(self, peer):
+    def test_reverse_axis_query_runs_lifted(self, peer):
         result = peer.execute_query(
             "doc('persons.xml')//name/ancestor::person")
         explain = result.explain()
-        assert explain.plan == "interpreter"
-        assert explain.fallback_reason.startswith("PathExpr:")
-        assert "ancestor" in explain.fallback_reason
+        assert explain.plan == "lifted"
+        assert explain.fallback_reason is None
         assert len(result.sequence) == CONFIG.persons
+
+    def test_unsupported_query_falls_back_with_reason(self, peer):
+        result = peer.execute_query(
+            "count(doc('persons.xml')//person)")
+        explain = result.explain()
+        assert explain.plan == "interpreter"
+        assert explain.fallback_reason.startswith("FunctionCall:")
+        assert explain.fallback_code == "function-not-lifted"
+        assert peer.engine.fallback_stats() == {"function-not-lifted": 1}
+        assert result.sequence[0].value == CONFIG.persons
 
     def test_peer_lifted_matches_interpreter(self, peer):
         query = "doc('auctions.xml')//closed_auction/buyer/@person"

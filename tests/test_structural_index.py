@@ -100,8 +100,8 @@ class TestEncoding:
         index = structural_index(doc)
         assert [n.kind for n in index.nodes] == \
             ["document", "element", "element", "element", "element"]
-        assert index.sizes == [4, 3, 1, 0, 0]
-        assert index.levels == [0, 1, 2, 3, 2]
+        assert list(index.sizes) == [4, 3, 1, 0, 0]
+        assert list(index.levels) == [0, 1, 2, 3, 2]
         assert index.name_pres("c") == [3]
         assert index.name_pres("nope") == []
 
