@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-lifted", action="store_true",
                         help="skip the loop-lifted relational plan and run "
                              "the tree interpreter directly")
+    parser.add_argument("--xml-backend", choices=["expat", "python"],
+                        default=None,
+                        help="parse frontend for --doc mounts (default: "
+                             "expat with python fallback, or the "
+                             "REPRO_XML_BACKEND environment override)")
     return parser
 
 
@@ -81,14 +86,17 @@ def main(argv: list[str] | None = None) -> int:
     else:
         source = Path(args.query).read_text(encoding="utf-8")
 
-    db = Database(try_lifted=not args.no_lifted)
+    db = Database(try_lifted=not args.no_lifted,
+                  xml_backend=args.xml_backend)
     for spec in args.module:
         location, path = _split_mount(spec)
         db.register_module(Path(path).read_text(encoding="utf-8"),
                            location=location)
     for spec in args.doc:
         uri, path = _split_mount(spec)
-        db.register(uri, Path(path).read_text(encoding="utf-8"))
+        # Bytes in: the parse frontend honours the file's XML
+        # declaration/BOM instead of assuming UTF-8.
+        db.register(uri, Path(path).read_bytes())
 
     variables = {}
     for spec in args.var:

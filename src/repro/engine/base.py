@@ -41,6 +41,12 @@ class Explain:
     cost: a splice that stayed on the O(change) fast path counts under
     ``reencodes_subtree`` + ``index_patches``, while ``reencodes_full``
     flags the whole-tree fallback.
+
+    ``documents_parsed`` / ``parse_fallbacks`` are the same per-thread
+    delta discipline over :data:`~repro.xml.stats.PARSE_STATS`: how many
+    documents the parse frontend built during this execution (fn:doc on
+    cold URIs, shipped Bulk RPC messages) and how many of those fell
+    back from expat to the pure-python reference parser.
     """
 
     plan: str
@@ -53,6 +59,8 @@ class Explain:
     reencodes_subtree: int = 0
     gap_respreads: int = 0
     index_patches: int = 0
+    documents_parsed: int = 0
+    parse_fallbacks: int = 0
 
     def render(self) -> str:
         """Human-readable one-paragraph form (the CLI's --explain)."""
@@ -71,6 +79,11 @@ class Explain:
                 f"subtree={self.reencodes_subtree} "
                 f"respreads={self.gap_respreads} "
                 f"index patches={self.index_patches}")
+        if self.documents_parsed or self.parse_fallbacks:
+            lines.append(
+                "parse: "
+                f"documents={self.documents_parsed} "
+                f"fallbacks={self.parse_fallbacks}")
         return "\n".join(lines)
 
 
@@ -205,6 +218,7 @@ class Engine:
         and returned as the :class:`Explain`.
         """
         from repro.xdm.structural import ENCODING_STATS
+        from repro.xml.stats import PARSE_STATS
 
         # A missing context inherits the engine's own configuration
         # (the ablation toggles execute_lifted always honored).
@@ -220,13 +234,24 @@ class Engine:
         # each other's update costs (apply_updates runs synchronously on
         # this thread, so its bumps land in this thread's counters).
         encoding_before = ENCODING_STATS.snapshot_local()
+        parse_before = PARSE_STATS.snapshot_local()
 
         def update_deltas() -> dict:
             after = ENCODING_STATS.snapshot_local()
-            return {
+            deltas = {
                 field: after[field] - encoding_before[field]
                 for field in ("reencodes_full", "reencodes_subtree",
                               "gap_respreads", "index_patches")}
+            parse_after = PARSE_STATS.snapshot_local()
+            deltas["documents_parsed"] = (
+                parse_after["documents_expat"]
+                + parse_after["documents_python"]
+                - parse_before["documents_expat"]
+                - parse_before["documents_python"])
+            deltas["parse_fallbacks"] = (
+                parse_after["fallbacks_to_python"]
+                - parse_before["fallbacks_to_python"])
+            return deltas
 
         fallback_reason = None
         fallback_code = None

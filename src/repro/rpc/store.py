@@ -28,10 +28,18 @@ class DocumentStore:
 
     # -- registration ------------------------------------------------------
 
-    def register(self, uri: str, content: Union[str, DocumentNode]) -> DocumentNode:
-        """Load (or replace) a document; accepts XML text or a parsed tree."""
-        if isinstance(content, str):
-            document = parse_document(content, uri=uri)
+    def register(self, uri: str,
+                 content: Union[str, bytes, DocumentNode],
+                 backend: Optional[str] = None) -> DocumentNode:
+        """Load (or replace) a document; accepts XML text or a parsed tree.
+
+        Raw content may be ``str`` or encoded ``bytes`` (decoded per the
+        XML declaration/BOM); ``backend`` selects the parse frontend —
+        cold registration is the bulk-ingest path the expat backend is
+        for.
+        """
+        if isinstance(content, (str, bytes)):
+            document = parse_document(content, uri=uri, backend=backend)
         else:
             document = content
             document.uri = document.uri or uri

@@ -116,6 +116,16 @@ class DatabaseStats:
     index_patches: int = 0
     index_builds: int = 0
     fallback_reasons: dict = field(default_factory=dict)
+    #: Parse-frontend telemetry (process-wide
+    #: :data:`~repro.xml.stats.PARSE_STATS` totals): which backend
+    #: parsed how many documents/bytes, and how often the default expat
+    #: backend fell back to the pure-python reference parser.
+    xml_backend: str = "expat"
+    parse_documents_expat: int = 0
+    parse_documents_python: int = 0
+    parse_bytes_expat: int = 0
+    parse_bytes_python: int = 0
+    parse_fallbacks: int = 0
 
 
 class PreparedQuery:
@@ -212,15 +222,21 @@ class Database:
     try_lifted:
         Attempt the loop-lifted relational plan before the interpreter
         (the default; ``False`` pins every query to the interpreter).
+    xml_backend:
+        Parse frontend for :meth:`register` — ``"expat"`` (C-speed,
+        the default) or ``"python"`` (the reference ablation).
+        ``None`` defers to ``REPRO_XML_BACKEND`` / the built-in default.
     """
 
     def __init__(self, engine: Optional[Engine] = None,
                  registry: Optional[ModuleRegistry] = None,
-                 try_lifted: bool = True) -> None:
+                 try_lifted: bool = True,
+                 xml_backend: Optional[str] = None) -> None:
         self.engine = engine or Engine(registry=registry)
         self.registry = self.engine.registry
         self.store = DocumentStore()
         self.try_lifted = try_lifted
+        self.xml_backend = xml_backend
         self._stats_lock = threading.Lock()
         self.executions = 0
         self.lifted_executions = 0
@@ -229,10 +245,11 @@ class Database:
     # -- documents / modules ----------------------------------------------
 
     def register(self, uri: str,
-                 content: Union[str, DocumentNode]) -> DocumentNode:
-        """Load (or replace) a document under *uri*; accepts XML text or
+                 content: Union[str, bytes, DocumentNode]) -> DocumentNode:
+        """Load (or replace) a document under *uri*; accepts XML text
+        (``str``, or encoded ``bytes`` honouring the declaration/BOM) or
         a parsed tree."""
-        return self.store.register(uri, content)
+        return self.store.register(uri, content, backend=self.xml_backend)
 
     def register_module(self, source: str,
                         location: Optional[str] = None) -> None:
@@ -263,9 +280,12 @@ class Database:
 
     def stats(self) -> DatabaseStats:
         from repro.xdm.structural import ENCODING_STATS
+        from repro.xml.parser import default_backend
+        from repro.xml.stats import PARSE_STATS
 
         cache = self.engine.cache_stats()
         encoding = ENCODING_STATS.snapshot()
+        parse = PARSE_STATS.snapshot()
         with self._stats_lock:
             return DatabaseStats(
                 plan_cache_hits=cache["plan_cache_hits"],
@@ -283,6 +303,12 @@ class Database:
                 index_patches=encoding["index_patches"],
                 index_builds=encoding["index_builds"],
                 fallback_reasons=self.engine.fallback_stats(),
+                xml_backend=self.xml_backend or default_backend(),
+                parse_documents_expat=parse["documents_expat"],
+                parse_documents_python=parse["documents_python"],
+                parse_bytes_expat=parse["bytes_expat"],
+                parse_bytes_python=parse["bytes_python"],
+                parse_fallbacks=parse["fallbacks_to_python"],
             )
 
     # -- internals ---------------------------------------------------------

@@ -20,6 +20,7 @@ Two properties the paper calls out are enforced here:
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.errors import XRPCFault
@@ -40,6 +41,15 @@ from repro.xml.serializer import escape_attribute, escape_text, serialize_into
 
 XRPC_PREFIX = "xrpc"
 
+#: Per-thread pool of piece buffers.  A bulk RPC marshals one envelope
+#: per request plus one fingerprint per call; growing a fresh list each
+#: time re-pays the same reallocations.  ``release()`` returns a
+#: writer's (cleared) buffer here so the next writer on this thread
+#: starts with list capacity already grown.  Thread-local because
+#: writers are built on server worker threads concurrently.
+_BUFFER_POOL = threading.local()
+_POOL_LIMIT = 8
+
 
 class MarshalWriter:
     """One-pass SOAP XML emitter.
@@ -55,7 +65,8 @@ class MarshalWriter:
     """
 
     def __init__(self) -> None:
-        self._out: list[str] = []
+        pool = _BUFFER_POOL.__dict__.setdefault("buffers", [])
+        self._out: list[str] = pool.pop() if pool else []
         self._stack: list[str] = []
         self._open = False          # a start tag still awaits '>'
         self._scope: dict[str, str] = {}  # prefixes declared so far
@@ -166,6 +177,19 @@ class MarshalWriter:
         self._close_tag()
         return "".join(self._out)
 
+    def release(self) -> None:
+        """Recycle this writer's buffer into the thread's pool.
+
+        Call after the final ``getvalue()``; the writer must not be
+        used afterwards (its buffer may be handed to another writer).
+        """
+        buffer = self._out
+        self._out = []
+        del buffer[:]
+        pool = _BUFFER_POOL.__dict__.setdefault("buffers", [])
+        if len(pool) < _POOL_LIMIT:
+            pool.append(buffer)
+
 
 def marshal_fingerprint(params: list[list]) -> str:
     """Canonical serialized form of one call's parameter list.
@@ -177,7 +201,9 @@ def marshal_fingerprint(params: list[list]) -> str:
     writer = MarshalWriter()
     for param in params:
         writer.sequence(param)
-    return writer.getvalue()
+    fingerprint = writer.getvalue()
+    writer.release()
+    return fingerprint
 
 
 def s2n(sequence: list, factory: Optional[NodeFactory] = None) -> ElementNode:

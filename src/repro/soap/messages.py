@@ -146,7 +146,9 @@ def _begin_envelope() -> MarshalWriter:
 def _finish_envelope(writer: MarshalWriter) -> str:
     writer.end()  # env:Body
     writer.end()  # env:Envelope
-    return writer.getvalue()
+    text = writer.getvalue()
+    writer.release()  # recycle the piece buffer for the next envelope
+    return text
 
 
 def build_request(request: XRPCRequest) -> str:
@@ -235,9 +237,16 @@ def build_txn_result(result: TxnResult) -> str:
 # Parsing
 
 
-def parse_message(text: Union[str, bytes]) -> Message:
-    """Parse any SOAP XRPC message; dispatch on the body's child."""
-    document = parse_document(text if isinstance(text, str) else text.decode("utf-8"))
+def parse_message(text: Union[str, bytes],
+                  backend: Optional[str] = None) -> Message:
+    """Parse any SOAP XRPC message; dispatch on the body's child.
+
+    ``bytes`` input is handed to the parse frontend as-is (the backend
+    honours the XML declaration's encoding and BOMs); ``backend``
+    selects the parse frontend explicitly (default: expat with python
+    fallback, see :func:`repro.xml.parser.parse_document`).
+    """
+    document = parse_document(text, backend=backend)
     envelope = document.root_element
     if envelope is None or envelope.local_name != "Envelope" \
             or envelope.ns_uri != ENV_NS:
@@ -275,8 +284,9 @@ def parse_message(text: Union[str, bytes]) -> Message:
         "env:Sender", f"unrecognised SOAP body element <{payload.name}>")
 
 
-def parse_request(text: Union[str, bytes]) -> XRPCRequest:
-    message = parse_message(text)
+def parse_request(text: Union[str, bytes],
+                  backend: Optional[str] = None) -> XRPCRequest:
+    message = parse_message(text, backend=backend)
     if isinstance(message, XRPCFaultMessage):
         message.raise_()
     if not isinstance(message, XRPCRequest):
@@ -284,8 +294,9 @@ def parse_request(text: Union[str, bytes]) -> XRPCRequest:
     return message
 
 
-def parse_response(text: Union[str, bytes]) -> XRPCResponse:
-    message = parse_message(text)
+def parse_response(text: Union[str, bytes],
+                   backend: Optional[str] = None) -> XRPCResponse:
+    message = parse_message(text, backend=backend)
     if isinstance(message, XRPCFaultMessage):
         message.raise_()
     if not isinstance(message, XRPCResponse):

@@ -14,7 +14,7 @@ with ``env:Sender`` faults before attempting execution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Optional, Union
 
 from repro.xdm.nodes import DocumentNode, ElementNode, TextNode
 from repro.xdm.types import is_known_type
@@ -44,12 +44,18 @@ class ValidationReport:
         self.errors.append(message)
 
 
-def validate_message(message: Union[str, DocumentNode]) -> ValidationReport:
-    """Validate a SOAP XRPC message; never raises on invalid content."""
+def validate_message(message: Union[str, bytes, DocumentNode],
+                     backend: Optional[str] = None) -> ValidationReport:
+    """Validate a SOAP XRPC message; never raises on invalid content.
+
+    Accepts raw text (``str`` or encoded ``bytes``, which the parse
+    frontend decodes per XML declaration/BOM) or an already-parsed
+    envelope; ``backend`` selects the parse frontend.
+    """
     report = ValidationReport()
-    if isinstance(message, str):
+    if isinstance(message, (str, bytes)):
         try:
-            document = parse_document(message)
+            document = parse_document(message, backend=backend)
         except XMLSyntaxError as exc:
             report.error(f"not well-formed XML: {exc}")
             return report

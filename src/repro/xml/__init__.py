@@ -7,10 +7,20 @@ produces :mod:`repro.xdm` node trees, and a serializer that renders them
 back to markup.
 """
 
-from repro.xml.parser import parse_document, parse_fragment, XMLSyntaxError
+from repro.xml.parser import (
+    BACKENDS,
+    XMLSyntaxError,
+    default_backend,
+    parse_document,
+    parse_fragment,
+)
 from repro.xml.serializer import serialize, escape_text, escape_attribute
+from repro.xml.stats import PARSE_STATS
 
 __all__ = [
+    "BACKENDS",
+    "PARSE_STATS",
+    "default_backend",
     "parse_document",
     "parse_fragment",
     "XMLSyntaxError",

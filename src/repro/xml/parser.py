@@ -1,21 +1,38 @@
-"""A small well-formedness-checking XML 1.0 parser.
+"""A small well-formedness-checking XML 1.0 parser, plus the backend
+dispatch of the parse frontend.
 
-Produces :mod:`repro.xdm` trees with document order and namespace
-resolution (``xmlns`` / ``xmlns:prefix`` declarations are tracked and
-every element/attribute gets its resolved namespace URI).
+The pure-python parser here produces :mod:`repro.xdm` trees with
+document order and namespace resolution (``xmlns`` / ``xmlns:prefix``
+declarations are tracked and every element/attribute gets its resolved
+namespace URI).  It is the *reference ablation* of the parse frontend:
+:func:`parse_document` routes to the C-speed expat backend
+(:mod:`repro.xml.expat_parser`) by default, falling back to this parser
+for input outside the expat subset — and both backends produce
+byte-identical trees (pre/size/level planes, gapped order keys).  Select
+a backend per call (``backend="expat"|"python"``) or process-wide via
+the ``REPRO_XML_BACKEND`` environment variable.
 
 Supported: elements, attributes, text, CDATA, comments, processing
 instructions, character/entity references, the XML declaration, and a
 DOCTYPE declaration (skipped, internal subsets without markup decls).
 Not supported (raises): external entities, parameter entities.
+
+Per XML 1.0 §2.11 / §3.3.3 (and matching expat), line endings are
+normalized (``\\r\\n`` / ``\\r`` → ``\\n``) and literal whitespace in
+attribute values becomes spaces; character references (``&#9;`` etc.)
+are exempt from both.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import codecs
+import os
+import re
+from typing import Optional, Union
 
 from repro.errors import XRPCReproError
 from repro.xdm.nodes import DocumentNode, ElementNode, Node, NodeFactory
+from repro.xml.stats import PARSE_STATS
 
 
 class XMLSyntaxError(XRPCReproError):
@@ -110,6 +127,9 @@ class _Scanner:
 class _Parser:
     def __init__(self, text: str, uri: Optional[str],
                  stride: Optional[int] = None) -> None:
+        if "\r" in text:
+            # XML 1.0 §2.11 end-of-line handling (expat does the same).
+            text = text.replace("\r\n", "\n").replace("\r", "\n")
         self.scanner = _Scanner(text)
         self.factory = NodeFactory(stride=stride)
         self.uri = uri
@@ -270,6 +290,11 @@ class _Parser:
             raw_value = scanner.read_until(quote, "unterminated attribute value")
             if "<" in raw_value:
                 raise scanner.error("'<' in attribute value")
+            # XML 1.0 §3.3.3 attribute-value normalization: literal
+            # whitespace becomes a space *before* reference expansion
+            # (&#10;/&#9; survive), matching expat.
+            if "\n" in raw_value or "\t" in raw_value:
+                raw_value = raw_value.replace("\n", " ").replace("\t", " ")
             value = self._expand_references(raw_value)
             if any(existing == attr_name for existing, _ in raw_attributes):
                 raise scanner.error(f"duplicate attribute {attr_name!r}")
@@ -362,14 +387,66 @@ class _Parser:
         return None
 
 
-def parse_document(text: str, uri: Optional[str] = None,
-                   stride: Optional[int] = None) -> DocumentNode:
+BACKENDS = ("expat", "python")
+
+_ENCODING_DECL = re.compile(
+    rb'^<\?xml[^>]*?encoding\s*=\s*["\']([A-Za-z][A-Za-z0-9._-]*)["\']')
+
+_BOMS = (
+    (codecs.BOM_UTF8, "utf-8-sig"),
+    (codecs.BOM_UTF32_LE, "utf-32"),
+    (codecs.BOM_UTF32_BE, "utf-32"),
+    (codecs.BOM_UTF16_LE, "utf-16"),
+    (codecs.BOM_UTF16_BE, "utf-16"),
+)
+
+
+def decode_xml_bytes(data: bytes) -> str:
+    """Decode raw XML bytes honouring BOMs and the declared encoding.
+
+    The pure-python backend's counterpart of what expat does natively: a
+    BOM wins, then the XML declaration's ``encoding=`` pseudo-attribute
+    (resolved through Python's codec registry, so aliases like
+    ``latin-1`` work), defaulting to UTF-8.
+    """
+    for bom, encoding in _BOMS:
+        if data.startswith(bom):
+            return data.decode(encoding)
+    match = _ENCODING_DECL.match(data[:256])
+    encoding = match.group(1).decode("ascii") if match else "utf-8"
+    try:
+        return data.decode(encoding)
+    except (LookupError, UnicodeDecodeError) as exc:
+        raise XMLSyntaxError(f"cannot decode document: {exc}", 1, 1) \
+            from None
+
+
+def default_backend() -> str:
+    """The process-wide parse backend: ``REPRO_XML_BACKEND`` when set to
+    a known backend name, else ``"expat"``."""
+    backend = os.environ.get("REPRO_XML_BACKEND", "").strip().lower()
+    return backend if backend in BACKENDS else "expat"
+
+
+def parse_document_python(text: Union[str, bytes],
+                          uri: Optional[str] = None,
+                          stride: Optional[int] = None) -> DocumentNode:
+    """The pure-python reference backend (the parse-frontend ablation)."""
+    if isinstance(text, (bytes, bytearray)):
+        text = decode_xml_bytes(bytes(text))
+    return _Parser(text, uri, stride=stride).parse_document()
+
+
+def parse_document(text: Union[str, bytes], uri: Optional[str] = None,
+                   stride: Optional[int] = None,
+                   backend: Optional[str] = None) -> DocumentNode:
     """Parse a complete XML document into an XDM document node.
 
     Parameters
     ----------
     text:
-        The XML source.
+        The XML source — ``str``, or raw ``bytes`` (the declared
+        encoding / BOM is honoured by both backends).
     uri:
         Optional document URI recorded on the document node (what
         ``fn:document-uri`` would return).
@@ -377,15 +454,43 @@ def parse_document(text: str, uri: Optional[str] = None,
         Order-key spacing (defaults to
         :data:`repro.xdm.nodes.KEY_STRIDE`); ``1`` produces the dense
         historical encoding — kept as the update-benchmark ablation.
+    backend:
+        ``"expat"`` (C-speed SAX frontend), ``"python"`` (the reference
+        parser), or ``None`` for the default (:func:`default_backend`,
+        i.e. expat unless ``REPRO_XML_BACKEND`` overrides).  Under the
+        default, expat failures — malformed input, or well-formed
+        documents outside the expat subset — are retried on the python
+        backend, so error messages and accepted documents are uniform
+        regardless of backend; an explicitly requested backend never
+        falls back.  Both backends produce byte-identical trees.
     """
-    if isinstance(text, bytes):
-        text = text.decode("utf-8")
-    return _Parser(text, uri, stride=stride).parse_document()
+    explicit = backend is not None
+    if backend is None:
+        backend = default_backend()
+    if backend == "expat":
+        from repro.xml.expat_parser import parse_document_expat
+        try:
+            document = parse_document_expat(text, uri=uri, stride=stride)
+        except Exception:
+            if explicit:
+                raise
+            PARSE_STATS.bump("fallbacks_to_python")
+        else:
+            PARSE_STATS.count_parse("expat", len(text))
+            return document
+    elif backend != "python":
+        raise ValueError(
+            f"unknown XML parse backend {backend!r}; expected one of "
+            f"{BACKENDS}")
+    document = parse_document_python(text, uri=uri, stride=stride)
+    PARSE_STATS.count_parse("python", len(text))
+    return document
 
 
-def parse_fragment(text: str) -> ElementNode:
+def parse_fragment(text: Union[str, bytes],
+                   backend: Optional[str] = None) -> ElementNode:
     """Parse a single element (fragment); returns the parentless element."""
-    document = parse_document(text)
+    document = parse_document(text, backend=backend)
     root = document.root_element
     if root is None:
         raise XMLSyntaxError("fragment has no element", 1, 1)

@@ -9,6 +9,7 @@ significant).
 
 from __future__ import annotations
 
+import re
 from typing import Iterable
 
 from repro.xdm.nodes import (
@@ -21,9 +22,18 @@ from repro.xdm.nodes import (
     TextNode,
 )
 
+# Most text runs and attribute values on the XRPC wire contain no
+# characters that need escaping, so both escape functions do one
+# C-level membership scan first and return the *same string object*
+# when nothing matches — five chained ``.replace`` copies otherwise.
+_TEXT_SPECIALS = re.compile(r"[&<>]").search
+_ATTR_SPECIALS = re.compile(r'[&<"\n\t]').search
+
 
 def escape_text(text: str) -> str:
     """Escape character data content."""
+    if _TEXT_SPECIALS(text) is None:
+        return text
     return (
         text.replace("&", "&amp;")
         .replace("<", "&lt;")
@@ -33,6 +43,8 @@ def escape_text(text: str) -> str:
 
 def escape_attribute(text: str) -> str:
     """Escape attribute values (quoted with double quotes)."""
+    if _ATTR_SPECIALS(text) is None:
+        return text
     return (
         text.replace("&", "&amp;")
         .replace("<", "&lt;")
@@ -61,7 +73,10 @@ def serialize(node: Node, indent: bool = False,
         pieces.append('<?xml version="1.0" encoding="utf-8"?>')
         if indent:
             pieces.append("\n")
-    _serialize_node(node, pieces, indent, level=0, scope={})
+    if indent:
+        _serialize_node(node, pieces, indent, level=0, scope={})
+    else:
+        _serialize_wire(node, pieces, scope={})
     return "".join(pieces)
 
 
@@ -73,7 +88,7 @@ def serialize_into(node: Node, out: list[str],
     surrounding markup, so fragments embedded in a larger document (the
     streaming SOAP writer) don't redeclare prefixes the envelope binds.
     """
-    _serialize_node(node, out, indent=False, level=0, scope=scope or {})
+    _serialize_wire(node, out, scope or {})
 
 
 def serialize_sequence(items: Iterable[object]) -> str:
@@ -98,6 +113,106 @@ def serialize_sequence(items: Iterable[object]) -> str:
         else:
             raise TypeError(f"cannot serialize {type(item).__name__}")
     return "".join(pieces)
+
+
+def _serialize_wire(node: Node, out: list[str],
+                    scope: dict[str, str]) -> None:
+    """Non-indent (wire) emitter: the single-pass fast path shared by
+    ``serialize``/``serialize_into`` and ``soap.MarshalWriter``.
+
+    Byte-identical to ``_serialize_node(indent=False)``, but tuned for
+    the message hot path: text children append straight to the output
+    as pre-escaped string frames (batched text runs, no frame tuple per
+    text node), namespace scopes are only copied when an element
+    actually declares or auto-declares a binding, and child/attribute
+    lists are read directly.  The indent path keeps the general emitter.
+    """
+    append = out.append
+    stack: list = [(node, scope)]
+    while stack:
+        frame = stack.pop()
+        if type(frame) is str:
+            append(frame)
+            continue
+        node, scope = frame
+        if type(node) is TextNode:
+            append(escape_text(node.content))
+            continue
+        if isinstance(node, ElementNode):
+            name = node.name
+            attributes = node._attributes
+            inherited = node.namespace_declarations
+            if inherited:
+                declarations = dict(inherited)
+                child_scope = {**scope, **inherited}
+            else:
+                declarations = None
+                child_scope = scope       # copied lazily on auto-declare
+            # Auto-declare prefixes in use on this element but unbound
+            # in scope (constructed trees carry resolved ns_uri without
+            # xmlns attrs).
+            for owner in (node, *attributes) if attributes else (node,):
+                owner_name = owner.name
+                if ":" not in owner_name:
+                    continue
+                ns_uri = owner.ns_uri
+                if ns_uri is None:
+                    continue
+                prefix = owner_name.split(":", 1)[0]
+                if prefix in ("xml", "xmlns"):
+                    continue
+                if child_scope.get(prefix) != ns_uri:
+                    if declarations is None:
+                        declarations = {}
+                    if child_scope is scope:
+                        child_scope = dict(scope)
+                    declarations[prefix] = ns_uri
+                    child_scope[prefix] = ns_uri
+            append("<" + name)
+            if declarations:
+                for prefix, uri in sorted(declarations.items()):
+                    xmlns = "xmlns" if prefix == "" else "xmlns:" + prefix
+                    if not any(a.name == xmlns for a in attributes):
+                        append(" " + xmlns + '="' + escape_attribute(uri)
+                               + '"')
+            for attribute in attributes:
+                append(" " + attribute.name + '="'
+                       + escape_attribute(attribute.value) + '"')
+            children = node._children
+            if not children:
+                append("/>")
+                continue
+            append(">")
+            if len(children) == 1 and type(children[0]) is TextNode:
+                # Leaf with one text child — the dominant shape in XRPC
+                # value holders; skip the frame round-trip entirely.
+                append(escape_text(children[0].content))
+                append("</" + name + ">")
+                continue
+            stack.append("</" + name + ">")
+            for child in reversed(children):
+                if type(child) is TextNode:
+                    stack.append(escape_text(child.content))
+                else:
+                    stack.append((child, child_scope))
+            continue
+        if isinstance(node, DocumentNode):
+            for child in reversed(node._children):
+                stack.append((child, scope))
+            continue
+        if isinstance(node, TextNode):
+            append(escape_text(node.content))
+            continue
+        if isinstance(node, CommentNode):
+            append("<!--" + node.content + "-->")
+            continue
+        if isinstance(node, ProcessingInstructionNode):
+            append("<?" + node.target + " " + node.content + "?>")
+            continue
+        if isinstance(node, AttributeNode):
+            append(node.name + '="' + escape_attribute(node.value) + '"')
+            continue
+        raise TypeError(f"cannot serialize node kind {node.kind}")
 
 
 def _serialize_node(node: Node, out: list[str], indent: bool, level: int,
