@@ -11,7 +11,6 @@ Each ablation toggles one optimization and measures the same workload:
 Results must agree between variants — the ablations are performance-only.
 """
 
-import pytest
 
 from repro.engine import MonetEngine, TreeEngine
 from repro.net import SimulatedNetwork

@@ -6,7 +6,6 @@ timings); the benchmark times the algebraic compilation + evaluation and
 the translation rule are caught where the paper specifies them.
 """
 
-import pytest
 
 from repro.pathfinder import LoopLiftedQuery
 from repro.xdm.atomic import string

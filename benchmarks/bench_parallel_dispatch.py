@@ -12,7 +12,6 @@ import time
 
 import pytest
 
-from repro.engine import TreeEngine
 from repro.net import HttpTransport, HttpXRPCServer
 from repro.rpc import XRPCPeer
 from repro.rpc.client import ClientSession

@@ -1,0 +1,9 @@
+(: Library module from the paper's running example (Fig. 1):
+   filmography lookups a film server exposes over XRPC. :)
+module namespace film = "films";
+
+declare function film:filmsByActor($actor as xs:string) as node()*
+{ doc("filmDB.xml")//name[../actor = $actor] };
+
+declare function film:actors() as node()*
+{ doc("filmDB.xml")//actor };

@@ -1,0 +1,5 @@
+(: Purely local, fully inside the loop-lifted core: a FLWOR over
+   path steps with a comparison predicate.  `repro check --analysis`
+   reports liftable=yes for this one. :)
+for $auction in doc("auctions.xml")//closed_auction[buyer/@person = "person0"]
+return $auction/price

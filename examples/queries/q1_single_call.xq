@@ -1,0 +1,7 @@
+(: Paper Q1: one remote function call shipped to a single peer. :)
+import module namespace f = "films" at "http://x.example.org/film.xq";
+
+<films> {
+  execute at {"xrpc://y.example.org"}
+  { f:filmsByActor("Sean Connery") }
+} </films>

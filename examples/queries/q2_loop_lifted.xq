@@ -1,0 +1,9 @@
+(: Paper Q2: the remote call sits in a FLWOR loop — the loop-lifted
+   rewrite groups all iterations into one Bulk XRPC message. :)
+import module namespace f = "films" at "http://x.example.org/film.xq";
+
+<films> {
+  for $actor in ("Julie Andrews", "Sean Connery")
+  let $dst := "xrpc://y.example.org"
+  return execute at {$dst} { f:filmsByActor($actor) }
+} </films>

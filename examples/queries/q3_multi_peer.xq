@@ -1,0 +1,8 @@
+(: Paper Q3: dynamic destinations — calls group per peer. :)
+import module namespace f = "films" at "http://x.example.org/film.xq";
+
+<films> {
+  for $actor in ("Julie Andrews", "Sean Connery")
+  for $dst in ("xrpc://y.example.org", "xrpc://z.example.org")
+  return execute at {$dst} { f:filmsByActor($actor) }
+} </films>

@@ -1,0 +1,4 @@
+(: XQUF updating query: flagged updating=yes by the analyzer, so a
+   peer routes it through the strict (non-speculative) executor. :)
+insert node <film><name>Dr. No</name><actor>Sean Connery</actor></film>
+  as last into doc("filmDB.xml")/films

@@ -18,6 +18,17 @@ first, anything outside the lifted core falls back to the tree
 interpreter.  ``--explain`` prints the plan kind, fallback reason and
 compile/execute timings to stderr; ``--no-lifted`` pins the query to
 the interpreter.
+
+``check`` lints queries without executing them, through the
+prepare-time static analyzer (:mod:`repro.analysis`)::
+
+    python -m repro.cli check queries/*.xq --module film.xq
+    python -m repro.cli check -e 'sum($missing)'
+
+Semantic problems (unknown functions, unbound variables, undeclared
+prefixes) print as ``file:line:col: severity [code]: message`` lines and
+exit non-zero; ``--analysis`` additionally prints each query's property
+summary (liftability verdict, updating-ness, site profile).
 """
 
 from __future__ import annotations
@@ -75,7 +86,83 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_check_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli check",
+        description="Statically analyze queries without executing them.")
+    parser.add_argument("queries", nargs="*",
+                        help="paths to .xq files to check")
+    parser.add_argument("-e", "--expression",
+                        help="inline query text (alternative to files)")
+    parser.add_argument("--module", action="append", default=[],
+                        metavar="[LOCATION=]PATH",
+                        help="register a library module (repeatable)")
+    parser.add_argument("--var", action="append", default=[],
+                        metavar="NAME[=VALUE]",
+                        help="treat NAME as a bound external variable "
+                             "(repeatable; the value is ignored)")
+    parser.add_argument("--analysis", action="store_true",
+                        help="also print each query's property summary "
+                             "(liftability, updating-ness, sites)")
+    return parser
+
+
+def check_main(argv: list[str]) -> int:
+    """``repro check``: lint queries through the static analyzer.
+
+    Exit status 0 when every query compiles with no error-severity
+    diagnostics, 1 otherwise.  Analysis assumes the distributed setting
+    (bulk dispatch available), so the liftability verdict matches what
+    an :class:`~repro.rpc.XRPCPeer` would do with the query.
+    """
+    from repro.analysis import analyze_compiled
+
+    parser = build_check_parser()
+    args = parser.parse_args(argv)
+    if not args.queries and not args.expression:
+        parser.error("provide query files and/or -e EXPRESSION")
+
+    db = Database()
+    for spec in args.module:
+        location, path = _split_mount(spec)
+        db.register_module(Path(path).read_text(encoding="utf-8"),
+                           location=location)
+    bound = {spec.partition("=")[0] for spec in args.var}
+
+    targets = [(path, None) for path in args.queries]
+    if args.expression:
+        targets.append(("<expression>", args.expression))
+
+    failures = 0
+    for label, source in targets:
+        if source is None:
+            source = Path(label).read_text(encoding="utf-8")
+        try:
+            compiled = db.engine.compile(source)
+        except XRPCReproError as exc:
+            print(f"{label}: error: {exc}")
+            failures += 1
+            continue
+        # variables=None assumes every `declare variable ... external`
+        # is bound at run time (check cannot know the caller's bindings)
+        # unless --var names an explicit binding set.
+        properties = analyze_compiled(
+            compiled, has_dispatch=True, has_doc_resolver=True,
+            variables=bound or None)
+        for diagnostic in properties.diagnostics:
+            print(diagnostic.render(label))
+        if args.analysis:
+            print(f"{label}: {properties.render()}")
+        if not properties.ok:
+            failures += 1
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        return check_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

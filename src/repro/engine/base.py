@@ -8,6 +8,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis import QueryProperties, analyze_compiled
 from repro.xquery.context import ExecutionContext
 from repro.xquery.evaluator import CompiledQuery
 from repro.xquery.modules import ModuleRegistry
@@ -61,6 +62,10 @@ class Explain:
     index_patches: int = 0
     documents_parsed: int = 0
     parse_fallbacks: int = 0
+    #: The prepare-time static analysis report (liftability prediction,
+    #: updating-ness, site profile, semantic diagnostics) — memoized on
+    #: the compiled query, so a plan-cache hit reattaches it for free.
+    analysis: Optional[QueryProperties] = None
 
     def render(self) -> str:
         """Human-readable one-paragraph form (the CLI's --explain)."""
@@ -68,6 +73,8 @@ class Explain:
         if self.fallback_reason:
             code = f" [{self.fallback_code}]" if self.fallback_code else ""
             lines.append(f"fallback: {self.fallback_reason}{code}")
+        if self.analysis is not None:
+            lines.append(self.analysis.render())
         lines.append(f"plan cache: {'hit' if self.cache_hit else 'miss'}")
         lines.append(f"compile: {self.compile_seconds * 1000.0:.3f} ms")
         lines.append(f"execute: {self.execute_seconds * 1000.0:.3f} ms")
@@ -229,6 +236,7 @@ class Engine:
         self.last_fallback_reason = None
         self.last_fallback_code = None
         compiled, compile_seconds, cache_hit = self.compile_with_stats(source)
+        analysis = self.analyze(compiled, options)
         started = time.perf_counter()
         # Thread-local basis: concurrent executions must not attribute
         # each other's update costs (apply_updates runs synchronously on
@@ -264,7 +272,8 @@ class Engine:
                     plan="lifted", fallback_reason=None,
                     compile_seconds=compile_seconds,
                     execute_seconds=time.perf_counter() - started,
-                    cache_hit=cache_hit, **update_deltas())
+                    cache_hit=cache_hit, analysis=analysis,
+                    **update_deltas())
         self.record_plan("interpreter", fallback_reason, fallback_code)
         result, pul = compiled.run(options)
         if pul and options.apply_updates:
@@ -275,7 +284,24 @@ class Engine:
             compile_seconds=compile_seconds,
             execute_seconds=time.perf_counter() - started,
             cache_hit=cache_hit, fallback_code=fallback_code,
-            **update_deltas())
+            analysis=analysis, **update_deltas())
+
+    def analyze(self, compiled: CompiledQuery,
+                context: Optional[ExecutionContext] = None,
+                ) -> QueryProperties:
+        """The static analysis report for *compiled* under *context*'s
+        capabilities — the same call :meth:`execute` makes, so callers
+        (the peer's router, ``repro check``) see exactly the properties
+        execution will act on.  Memoized on the compiled query."""
+        options = context if context is not None else ExecutionContext(
+            accelerator=self.accelerator,
+            optimize_joins=self.optimize_flwor_joins)
+        return analyze_compiled(
+            compiled,
+            has_dispatch=options.dispatch is not None,
+            has_doc_resolver=options.doc_resolver is not None,
+            variables=set(options.variables or {}),
+            context_item=options.context_item is not None)
 
     def attempt_lifted(self, source: str, compiled: CompiledQuery,
                        context: ExecutionContext,

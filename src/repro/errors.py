@@ -22,10 +22,21 @@ class XQueryError(XRPCReproError):
         W3C error code such as ``"XPST0003"`` (without the ``err:`` prefix).
     message:
         Human-readable description.
+    line, column:
+        Optional 1-based source location.  When provided the rendered
+        message carries a uniform ``(at line:column)`` suffix and the
+        attributes stay available for structured consumers (the CLI
+        ``check`` linter, editor integrations).
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str,
+                 line: int | None = None,
+                 column: int | None = None) -> None:
         self.code = code
+        self.line = line
+        self.column = column
+        if line is not None and column is not None:
+            message = f"{message} (at {line}:{column})"
         super().__init__(f"[{code}] {message}")
 
 

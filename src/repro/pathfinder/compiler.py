@@ -94,29 +94,16 @@ def remote_call_profile(compiled: CompiledQuery) -> tuple[int, bool]:
     shipped would make the interpreter fallback apply the update twice.
     Unresolvable call names count as updating (conservative: route to
     the record-then-ship batching executor).
+
+    Compatibility shim: the figures now come from the static analyzer's
+    site profile (:func:`repro.analysis.analyze_compiled`), which also
+    covers ``execute at`` sites inside locally-called function bodies —
+    the old body-only walk under-counted those.
     """
-    cached = getattr(compiled, "_remote_call_profile", None)
-    if cached is not None:
-        return cached
-    sites = 0
-    updating = False
-    body = compiled.ast.body
-    if body is not None:
-        for node in iter_ast_nodes(body):
-            if not isinstance(node, A.ExecuteAt):
-                continue
-            sites += 1
-            try:
-                uri, local = compiled.static.resolve_function_name(
-                    node.call.name)
-                decl = compiled.static.lookup_function(
-                    uri, local, len(node.call.args))
-            except XRPCReproError:
-                decl = None
-            if decl is None or getattr(decl, "updating", False):
-                updating = True
-    compiled._remote_call_profile = (sites, updating)
-    return compiled._remote_call_profile
+    from repro.analysis import analyze_compiled
+
+    sites = analyze_compiled(compiled, has_dispatch=True).sites
+    return sites.count, sites.updating_remote
 
 
 def _context_free_probe(expr: A.Expr) -> bool:

@@ -16,7 +16,6 @@ Implements section 2.2/2.3 of the paper on the server side:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.errors import IsolationError, TransactionError
 from repro.rpc.store import DocumentStore, Snapshot

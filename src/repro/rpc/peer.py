@@ -212,8 +212,6 @@ class XRPCPeer:
         a dynamic lifted bail can never apply an update twice).
         ``try_lifted=False`` forces the interpreter path outright.
         """
-        from repro.pathfinder import remote_call_profile
-
         compiled, compile_seconds, cache_hit = \
             self.engine.compile_with_stats(source)
 
@@ -242,7 +240,12 @@ class XRPCPeer:
         result: list = []
         pul = PendingUpdateList()
         if context.try_lifted:
-            sites, has_updating = remote_call_profile(compiled)
+            # Route from the prepare-time static analysis: the site
+            # profile covers the whole locally-evaluated tree (query
+            # body plus locally-called function bodies), not just the
+            # body's own execute-at occurrences.
+            profile = self.engine.analyze(compiled, context).sites
+            sites, has_updating = profile.count, profile.updating_remote
             if sites > 1:
                 fallback_reason = (
                     f"ExecuteAt: {sites} call sites group better through "

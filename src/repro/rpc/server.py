@@ -19,7 +19,7 @@ response (``xrpc:participants``) for coordinator registration.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from repro.errors import XQueryError, XRPCFault, XRPCReproError
 from repro.soap.messages import (

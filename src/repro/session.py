@@ -150,6 +150,18 @@ class PreparedQuery:
         self._first_run_pending = True
         self.last_explain: Optional[Explain] = None
 
+    # -- static analysis ----------------------------------------------------
+
+    @property
+    def analysis(self):
+        """The prepare-time :class:`~repro.analysis.QueryProperties` of
+        this query under the database's standard execution context
+        (document resolver present, no bulk dispatch): will it lift, is
+        it updating, which sites does it touch, and any semantic
+        diagnostics — all without executing anything."""
+        context = self.database._make_context(None, {}, None)
+        return self.database.engine.analyze(self.compiled, context)
+
     # -- execution ---------------------------------------------------------
 
     def execute(self, *, variables: Optional[dict] = None,

@@ -12,7 +12,7 @@ resolver, and the two hooks the paper's architecture needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from repro.errors import DynamicError, StaticError

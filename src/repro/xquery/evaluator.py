@@ -52,7 +52,7 @@ from repro.xdm.structural import (
     structural_index,
     tree_groups,
 )
-from repro.xdm.types import xs, type_by_name, is_known_type
+from repro.xdm.types import xs
 from repro.xquery import xast as A
 from repro.xquery import seqtype
 from repro.xquery.context import (

@@ -81,6 +81,32 @@ def get_builtin(uri: str, local: str, arity: int) -> Optional[Builtin]:
     return None
 
 
+def builtin_exists(uri: str, local: str, arity: int) -> bool:
+    """Would :func:`get_builtin` resolve this (uri, local, arity)?
+
+    The static analyzer's view of the builtin library — deliberately a
+    wrapper over the same lookup the evaluator performs, so the linter
+    can never disagree with the runtime about which builtins exist.
+    """
+    return get_builtin(uri, local, arity) is not None
+
+
+def builtin_known_name(uri: str, local: str) -> bool:
+    """Is *local* a builtin name in *uri* at ANY arity?
+
+    Distinguishes "unknown function" from "known function called with
+    the wrong number of arguments" in the analyzer's diagnostics.
+    """
+    if uri == FN_NS:
+        return local in _VARIADIC \
+            or any(name == local for name, _ in _REGISTRY)
+    if uri == XS_NS:
+        return _constructor_function(local) is not None
+    if uri == XRPC_NS:
+        return any(name == f"xrpc:{local}" for name, _ in _REGISTRY)
+    return False
+
+
 # ---------------------------------------------------------------------------
 # Helpers
 

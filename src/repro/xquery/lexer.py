@@ -15,6 +15,21 @@ from typing import Optional
 
 from repro.errors import StaticError
 
+
+def source_location(text: str, pos: int) -> tuple[int, int]:
+    """1-based ``(line, column)`` of character offset *pos* in *text*.
+
+    The shared offset→location mapping: the lexer's own errors, the
+    parser's AST position stamps (:attr:`repro.xquery.xast.Expr.pos`)
+    and the static analyzer's diagnostics all render through it, so
+    every surface reports the same ``line:column`` for the same spot.
+    """
+    consumed = text[:pos]
+    line = consumed.count("\n") + 1
+    column = pos - (consumed.rfind("\n") + 1) + 1
+    return line, column
+
+
 # Longest-match symbol table (order matters only within same first char).
 _SYMBOLS = [
     ":=", "<<", ">>", "!=", "<=", ">=", "//", "..",
@@ -55,15 +70,13 @@ class Lexer:
     # -- errors ------------------------------------------------------------
 
     def location(self, pos: Optional[int] = None) -> tuple[int, int]:
-        pos = self.pos if pos is None else pos
-        consumed = self.text[:pos]
-        line = consumed.count("\n") + 1
-        column = pos - (consumed.rfind("\n") + 1) + 1
-        return line, column
+        return source_location(self.text, self.pos if pos is None else pos)
 
     def error(self, message: str, pos: Optional[int] = None) -> StaticError:
+        """A :class:`StaticError` carrying the uniform ``(at line:column)``
+        suffix plus structured ``line``/``column`` attributes."""
         line, column = self.location(pos)
-        return StaticError("XPST0003", f"{message} (line {line}, column {column})")
+        return StaticError("XPST0003", message, line=line, column=column)
 
     # -- raw access (for direct constructors) -------------------------------
 
@@ -129,7 +142,7 @@ class Lexer:
             return Token("VAR", name, start)
 
         if ch in "'\"":
-            return Token("STRING", self._read_string_literal(ch), start)
+            return Token("STRING", self._read_string_literal(ch, start), start)
 
         if ch.isdigit() or (ch == "." and self.raw_peek(1).isdigit()):
             return self._read_number(start)
@@ -166,12 +179,13 @@ class Lexer:
                     self.pos += 1
         return self.text[start:self.pos]
 
-    def _read_string_literal(self, quote: str) -> str:
+    def _read_string_literal(self, quote: str,
+                             start: Optional[int] = None) -> str:
         self.pos += 1
         pieces: list[str] = []
         while True:
             if self.pos >= self.length:
-                raise self.error("unterminated string literal")
+                raise self.error("unterminated string literal", start)
             ch = self.text[self.pos]
             if ch == quote:
                 if self.raw_peek(1) == quote:  # doubled quote = escape
@@ -221,5 +235,5 @@ class Lexer:
                     self.pos += 1
         text = self.text[start:self.pos]
         if self.pos < self.length and _is_ncname_start(self.text[self.pos]):
-            raise self.error(f"invalid number literal {text!r}")
+            raise self.error(f"invalid number literal {text!r}", start)
         return Token(kind, text, start)

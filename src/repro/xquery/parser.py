@@ -16,7 +16,6 @@ from __future__ import annotations
 from decimal import Decimal
 from typing import Optional
 
-from repro.errors import StaticError
 from repro.xdm.atomic import AtomicValue
 from repro.xdm.types import xs, type_by_name, is_known_type
 from repro.xquery.lexer import Lexer, Token
@@ -123,6 +122,21 @@ class _Parser:
         token = self.lexer.next()
         self.lexer.restore(saved)
         return token.value if token.kind == "SYMBOL" else None
+
+    # ------------------------------------------------------------------
+    # Source positions
+
+    def _mark(self) -> int:
+        """Offset of the next significant token (for AST position stamps)."""
+        self.lexer.skip_trivia()
+        return self.lexer.pos
+
+    def _stamp(self, node, start: int):
+        # First stamp wins: nested parses run before their wrappers, so
+        # a node keeps the offset of its own first token.
+        if getattr(node, "pos", 0) is None:
+            node.pos = start
+        return node
 
     # ------------------------------------------------------------------
     # Modules / prolog
@@ -233,16 +247,17 @@ class _Parser:
             return True
         if token.is_name("variable"):
             self.next()
-            var = self.expect_kind("VAR").value
+            var_token = self.expect_kind("VAR")
             seq_type = A.SequenceType.zero_or_more_items()
             if self.accept_name("as"):
                 seq_type = self.parse_sequence_type()
             if self.accept_name("external"):
-                variables.append(A.VarDecl(var, seq_type, None, external=True))
+                decl = A.VarDecl(var_token.value, seq_type, None, external=True)
             else:
                 self.expect_symbol(":=")
                 value = self.parse_expr_single()
-                variables.append(A.VarDecl(var, seq_type, value))
+                decl = A.VarDecl(var_token.value, seq_type, value)
+            variables.append(self._stamp(decl, var_token.pos))
             self.expect_symbol(";")
             return True
         if token.is_name("function") or token.is_name("updating"):
@@ -278,7 +293,8 @@ class _Parser:
         return False
 
     def _parse_function_decl(self, updating: bool) -> A.FunctionDecl:
-        name = self.expect_kind("NAME").value
+        name_token = self.expect_kind("NAME")
+        name = name_token.value
         self.expect_symbol("(")
         params: list[A.Param] = []
         if not self.accept_symbol(")"):
@@ -301,7 +317,8 @@ class _Parser:
             body = self.parse_expr()
             self.expect_symbol("}")
         self.expect_symbol(";")
-        return A.FunctionDecl(name, params, return_type, body, updating=updating)
+        decl = A.FunctionDecl(name, params, return_type, body, updating=updating)
+        return self._stamp(decl, name_token.pos)
 
     def _parse_module_import(self) -> A.ModuleImport:
         self.expect_name("namespace")
@@ -334,15 +351,20 @@ class _Parser:
     # Expressions
 
     def parse_expr(self) -> A.Expr:
+        start = self._mark()
         first = self.parse_expr_single()
         if not self.accept_symbol(","):
             return first
         items = [first, self.parse_expr_single()]
         while self.accept_symbol(","):
             items.append(self.parse_expr_single())
-        return A.SequenceExpr(items)
+        return self._stamp(A.SequenceExpr(items), start)
 
     def parse_expr_single(self) -> A.Expr:
+        start = self._mark()
+        return self._stamp(self._parse_expr_single_inner(), start)
+
+    def _parse_expr_single_inner(self) -> A.Expr:
         token = self.peek()
         if token.kind == "NAME":
             value = token.value
@@ -553,6 +575,7 @@ class _Parser:
     # -- XRPC --------------------------------------------------------------
 
     def _parse_execute_at(self) -> A.Expr:
+        start = self._mark()
         self.expect_name("execute")
         self.expect_name("at")
         self.expect_symbol("{")
@@ -561,10 +584,10 @@ class _Parser:
         self.expect_symbol("{")
         call = self._parse_function_call_expr()
         self.expect_symbol("}")
-        return A.ExecuteAt(destination, call)
+        return self._stamp(A.ExecuteAt(destination, call), start)
 
     def _parse_function_call_expr(self) -> A.FunctionCall:
-        name = self.expect_kind("NAME").value
+        name_token = self.expect_kind("NAME")
         self.expect_symbol("(")
         args: list[A.Expr] = []
         if not self.accept_symbol(")"):
@@ -573,7 +596,8 @@ class _Parser:
                 if self.accept_symbol(")"):
                     break
                 self.expect_symbol(",")
-        return A.FunctionCall(name, args)
+        call = A.FunctionCall(name_token.value, args)
+        return self._stamp(call, name_token.pos)
 
     # -- binary operator ladder -------------------------------------------
 
@@ -772,6 +796,10 @@ class _Parser:
 
     def _parse_step(self):
         """Returns an AxisStep (for axis steps) or an Expr (filter expr)."""
+        start = self._mark()
+        return self._stamp(self._parse_step_inner(), start)
+
+    def _parse_step_inner(self):
         token = self.peek()
 
         if token.is_symbol(".."):
@@ -881,6 +909,10 @@ class _Parser:
     # -- primary --------------------------------------------------------------
 
     def parse_primary_expr(self) -> A.Expr:
+        start = self._mark()
+        return self._stamp(self._parse_primary_expr_inner(), start)
+
+    def _parse_primary_expr_inner(self) -> A.Expr:
         token = self.peek()
 
         if token.kind == "INTEGER":

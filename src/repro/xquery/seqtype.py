@@ -8,7 +8,6 @@ casting follows.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import TypeError_
 from repro.xdm.atomic import AtomicValue, cast

@@ -14,7 +14,17 @@ from repro.xdm.types import XSType
 
 
 class Expr:
-    """Base class for all expression nodes."""
+    """Base class for all expression nodes.
+
+    ``pos`` is the character offset of the expression's first token in
+    the query source, stamped by the parser (``None`` for synthesized
+    nodes).  It is deliberately a plain class attribute, not a dataclass
+    field: node equality and ``dataclasses.fields`` walks ignore it, and
+    existing positional constructions stay valid.  Map an offset to a
+    ``line:column`` pair with :func:`repro.xquery.lexer.source_location`.
+    """
+
+    pos = None  # type: Optional[int]
 
 
 # ---------------------------------------------------------------------------
@@ -194,6 +204,8 @@ class AxisStep:
     axis: str  # child, descendant, attribute, self, parent, ...
     node_test: NodeTest
     predicates: list[Expr] = field(default_factory=list)
+
+    pos = None  # source offset (class attr, not a field — see Expr.pos)
 
 
 @dataclass
@@ -390,6 +402,8 @@ class FunctionDecl:
     local_name: Optional[str] = None
     module: object = None  # repro.xquery.modules.Module
 
+    pos = None  # source offset (class attr, not a field — see Expr.pos)
+
 
 @dataclass
 class VarDecl:
@@ -397,6 +411,8 @@ class VarDecl:
     seq_type: SequenceType
     value: Optional[Expr]
     external: bool = False
+
+    pos = None  # source offset (class attr, not a field — see Expr.pos)
 
 
 @dataclass

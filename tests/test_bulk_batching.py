@@ -10,7 +10,7 @@ import pytest
 
 from repro.net import SimulatedNetwork
 from repro.rpc import XRPCPeer
-from tests.helpers import strings, values
+from tests.helpers import values
 
 CHAIN_MODULE = """
 module namespace c = "urn:chain";

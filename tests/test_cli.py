@@ -148,3 +148,67 @@ class TestExplainAndPlanFlags:
         lifted_out = capsys.readouterr().out
         assert main(args + ["--no-lifted"]) == 0
         assert capsys.readouterr().out == lifted_out
+
+
+class TestCheckSubcommand:
+    """`repro check`: lint without executing (routes through main)."""
+
+    def test_clean_query_exits_zero(self, capsys):
+        assert main(["check", "-e", "doc('d.xml')//item"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_analysis_summary_flag(self, capsys):
+        assert main(["check", "-e", "doc('d.xml')//item",
+                     "--analysis"]) == 0
+        out = capsys.readouterr().out
+        assert "analysis: liftable=yes, updating=no" in out
+
+    def test_unbound_variable_fails_with_position(self, capsys):
+        assert main(["check", "-e", "1 + $missing"]) == 1
+        out = capsys.readouterr().out
+        assert ("<expression>:1:5: error [XPST0008]: "
+                "variable $missing is not declared") in out
+
+    def test_unknown_function_fails(self, capsys):
+        assert main(["check", "-e", "no-such-fn(1)"]) == 1
+        assert "[XPST0017]" in capsys.readouterr().out
+
+    def test_parse_error_fails_with_position(self, capsys):
+        assert main(["check", "-e", "1 +"]) == 1
+        out = capsys.readouterr().out
+        assert "error" in out and "1:4" in out
+
+    def test_var_flag_binds_external(self, capsys):
+        query = "declare variable $n external; $n + 1"
+        assert main(["check", "-e", query, "--var", "n",
+                     "--analysis"]) == 0
+        assert "liftable=yes" in capsys.readouterr().out
+
+    def test_query_files_and_modules(self, tmp_path, capsys):
+        module = tmp_path / "film.xq"
+        module.write_text("""
+        module namespace film = "films";
+        declare function film:byActor($a as xs:string) as node()*
+        { doc("filmDB.xml")//name[../actor = $a] };
+        """)
+        good = tmp_path / "good.xq"
+        good.write_text(
+            'import module namespace f = "films" at "film.xq";\n'
+            'execute at {"xrpc://y"} { f:byActor("Sean Connery") }\n')
+        bad = tmp_path / "bad.xq"
+        bad.write_text(
+            'import module namespace f = "films" at "film.xq";\n'
+            'f:byActor("A", "too-many")\n')
+        assert main(["check", str(good),
+                     "--module", f"film.xq={module}"]) == 0
+        assert main(["check", str(good), str(bad),
+                     "--module", f"film.xq={module}"]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad}:2:1: error [XPST0017]" in out
+
+    def test_updating_query_summary(self, capsys):
+        assert main([
+            "check", "-e",
+            "insert node <a/> as last into doc('d.xml')/r",
+            "--analysis"]) == 0
+        assert "updating=yes" in capsys.readouterr().out

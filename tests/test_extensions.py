@@ -13,7 +13,7 @@ from repro.soap import XRPCResponse
 from repro.soap.nodeid import message_bytes_saved, n2s_call, s2n_call
 from repro.soap.validation import validate_message
 from repro.xdm import integer, string, xs
-from repro.xml import parse_document, serialize
+from repro.xml import serialize
 from repro.xml.parser import parse_fragment
 
 
@@ -194,7 +194,7 @@ class TestNodeIdExtension:
 
     def test_plain_interop(self):
         # Sequences without nodeids decode identically via n2s_call.
-        from repro.soap import n2s, s2n
+        from repro.soap import s2n
         sequence = [string("x"), integer(2)]
         wire = parse_fragment(serialize(s2n(sequence)))
         assert n2s_call([wire]) == [sequence]

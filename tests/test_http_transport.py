@@ -9,7 +9,7 @@ from repro.net.transport import normalize_peer_uri
 from repro.rpc import XRPCPeer
 from repro.soap import XRPCRequest, build_request, parse_response
 from repro.wrapper import XRPCWrapper
-from repro.xdm.atomic import integer, string
+from repro.xdm.atomic import integer
 from tests.helpers import values
 
 ECHO_MODULE = """

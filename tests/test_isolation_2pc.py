@@ -8,7 +8,7 @@ from repro.rpc import TransactionCoordinator, XRPCPeer
 from repro.rpc.isolation import IsolationManager
 from repro.rpc.store import DocumentStore
 from repro.soap.messages import QueryID
-from tests.helpers import strings, values
+from tests.helpers import values
 
 COUNTER_MODULE = """
 module namespace c = "urn:counter";

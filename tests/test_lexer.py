@@ -101,7 +101,24 @@ class TestErrors:
         lexer.next()
         with pytest.raises(StaticError) as info:
             lexer.next()
-        assert "line 2" in str(info.value)
+        # Uniform location format: every parse/static error ends with
+        # '(at line:column)' and carries structured attributes.
+        assert "(at 2:3)" in str(info.value)
+        assert info.value.line == 2
+        assert info.value.column == 3
+
+    def test_error_location_first_line(self):
+        with pytest.raises(StaticError) as info:
+            tokens("12abc")
+        assert "(at 1:1)" in str(info.value)
+        assert (info.value.line, info.value.column) == (1, 1)
+
+    def test_source_location_helper(self):
+        from repro.xquery.lexer import source_location
+        text = "ab\ncd\nef"
+        assert source_location(text, 0) == (1, 1)
+        assert source_location(text, 3) == (2, 1)
+        assert source_location(text, 7) == (3, 2)
 
 
 class TestSaveRestore:

@@ -16,7 +16,7 @@ from repro.soap import (
     parse_response,
 )
 from repro.xdm import integer, string
-from tests.helpers import strings, values
+from tests.helpers import values
 
 
 class TestMessageEdgeCases:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.algebra import Table
 from repro.pathfinder import LoopLiftedQuery, UnsupportedExpression
 from repro.xdm.atomic import string
 from tests.helpers import strings, values

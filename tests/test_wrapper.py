@@ -9,7 +9,7 @@ from repro.rpc import XRPCPeer
 from repro.soap import XRPCRequest, build_request, parse_response
 from repro.wrapper import XRPCWrapper, generate_wrapper_query
 from repro.xdm import integer, string, xs
-from tests.helpers import strings, values, xml
+from tests.helpers import xml
 
 GETPERSON_MODULE = """
 module namespace func = "functions";

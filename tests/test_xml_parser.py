@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.xdm.nodes import CommentNode, ElementNode, TextNode
+from repro.xdm.nodes import CommentNode, ElementNode
 from repro.xml import XMLSyntaxError, parse_document, parse_fragment, serialize
 
 

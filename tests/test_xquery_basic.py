@@ -4,8 +4,8 @@ from decimal import Decimal
 
 import pytest
 
-from repro.errors import DynamicError, StaticError, TypeError_
-from tests.helpers import run, values, strings, xml
+from repro.errors import DynamicError, StaticError
+from tests.helpers import run, values
 
 
 class TestLiterals:

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import DynamicError, StaticError, TypeError_
-from tests.helpers import run, strings, values, xml
+from repro.errors import DynamicError, TypeError_
+from tests.helpers import run, values, xml
 
 
 class TestOrderByEdgeCases:

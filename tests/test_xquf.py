@@ -7,7 +7,7 @@ from repro.xml import parse_document, serialize
 from repro.xquery.evaluator import CompiledQuery, evaluate_query
 from repro.xquery.modules import ModuleRegistry
 from repro.xquf import PendingUpdateList, apply_updates
-from tests.helpers import run, values
+from tests.helpers import values
 
 
 def run_update(query: str, doc_xml: str) -> str:

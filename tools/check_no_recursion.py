@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""CI lint: no self-recursive traversals in repro/xdm/ and repro/xml/.
+
+Those packages walk user-supplied documents, whose depth the engine
+does not control — a recursive traversal there turns a deep (or
+adversarial) document into a ``RecursionError``, which is why their
+walkers are written iteratively (explicit stacks, pre/size windows).
+This check keeps it that way: a function in the guarded packages that
+calls itself fails the build.  "Calls itself" means, inside ``def f``:
+
+* a bare call ``f(...)`` — unless the name ``f`` is rebound inside the
+  function (a local ``from ... import f``, assignment, or parameter),
+  in which case it is a different binding, not recursion;
+* for methods only: ``self.f(...)``, ``cls.f(...)``, or ``other.f(...)``
+  where ``other`` is a plain name (``child.serialize()`` inside
+  ``def serialize`` is exactly the traversal pattern this forbids).
+  Deeper receivers (``self.text.startswith(...)``) are same-named
+  *foreign* methods and are ignored, as are dunder methods
+  (``super().__init__`` chains).
+
+Knowingly-bounded recursion can be allowlisted by putting a
+``# recursion-ok: <why>`` comment on the ``def`` line.
+
+Usage: python tools/check_no_recursion.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+GUARDED = ("src/repro/xdm", "src/repro/xml")
+
+
+def _local_rebindings(func: ast.AST) -> set[str]:
+    """Names (re)bound inside *func*'s own scope: parameters, local
+    imports, assignment targets."""
+    bound: set[str] = set()
+    args = func.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            bound.add(node.name)
+            continue
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        stack.extend(ast.iter_child_nodes(node))
+    return bound
+
+
+def _self_call_lines(func: ast.AST, is_method: bool) -> list[int]:
+    name = func.name
+    if name.startswith("__") and name.endswith("__"):
+        return []
+    rebound = _local_rebindings(func)
+    lines: list[int] = []
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue  # nested scopes are checked on their own
+        if isinstance(node, ast.Call):
+            target = node.func
+            if isinstance(target, ast.Name) and target.id == name \
+                    and name not in rebound:
+                lines.append(node.lineno)
+            elif is_method and isinstance(target, ast.Attribute) \
+                    and target.attr == name \
+                    and isinstance(target.value, ast.Name):
+                lines.append(node.lineno)
+        stack.extend(ast.iter_child_nodes(node))
+    return lines
+
+
+def _walk_scopes(node: ast.AST, in_class: bool, found: list):
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            found.append((child, in_class))
+            _walk_scopes(child, False, found)
+        elif isinstance(child, ast.ClassDef):
+            _walk_scopes(child, True, found)
+        else:
+            _walk_scopes(child, in_class, found)
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text(encoding="utf-8")
+    source_lines = source.splitlines()
+    functions: list = []
+    _walk_scopes(ast.parse(source, str(path)), False, functions)
+    problems = []
+    for func, is_method in functions:
+        if "recursion-ok" in source_lines[func.lineno - 1]:
+            continue
+        for lineno in _self_call_lines(func, is_method):
+            problems.append(
+                f"{path}:{lineno}: {func.name} recurses into itself; "
+                "rewrite iteratively or annotate the def with "
+                "'# recursion-ok: <why>'")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 \
+        else Path(__file__).resolve().parents[1]
+    problems = []
+    for guarded in GUARDED:
+        for path in sorted((root / guarded).rglob("*.py")):
+            problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} recursive traversal(s) in guarded packages",
+              file=sys.stderr)
+        return 1
+    print(f"no self-recursive traversals under {', '.join(GUARDED)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
