@@ -1,0 +1,115 @@
+"""Benchmark: posting-list keyword search vs naive fn:contains scans.
+
+The keyword-search subsystem's acceptance gate: answering a keyword
+query from the inverted term index (:mod:`repro.search`) — posting-list
+intersection plus the subtree-window bisects — must beat the naive
+full-document scan (``string_value`` per element + substring test, the
+tree interpreter's ``fn:contains`` cost) by a wide margin.  Both sides
+are asserted result-identical before timing.
+
+Run standalone (CI uploads the JSON):
+
+    PYTHONPATH=src python -m pytest -q -rA \
+        benchmarks/bench_keyword_search.py \
+        --benchmark-json=BENCH_keyword_search.json
+"""
+
+import time
+
+import pytest
+
+from repro.search.index import keyword_search, term_index_for
+from repro.search.naive import naive_contains_scan, naive_search
+from repro.workloads.xmark import XMarkConfig, generate_auctions
+from repro.xml import parse_document
+
+SCALES = {
+    "sf-small": XMarkConfig(persons=25, closed_auctions=120, open_auctions=12),
+    "sf-medium": XMarkConfig(persons=50, closed_auctions=300, open_auctions=30),
+    "sf-large": XMarkConfig(persons=100, closed_auctions=600, open_auctions=60),
+}
+LARGEST = "sf-large"
+
+# Needles of different selectivities over the XMark vocabulary;
+# "provenance certificate" exercises the multi-token (suffix + prefix)
+# constraint path.
+NEEDLES = {
+    "contains-rare": "provenance",
+    "contains-common": "auction",
+    "contains-phrase": "provenance certificate",
+}
+
+_documents = {}
+
+
+def _document(scale: str):
+    if scale not in _documents:
+        _documents[scale] = parse_document(
+            generate_auctions(SCALES[scale]), uri="auctions.xml")
+    return _documents[scale]
+
+
+def _indexed_contains(root, needle: str) -> list:
+    return term_index_for(root).contains_scan(needle)
+
+
+def _timed(function, *args) -> tuple[float, list]:
+    started = time.perf_counter()
+    result = function(*args)
+    return time.perf_counter() - started, result
+
+
+@pytest.mark.parametrize("scale", list(SCALES))
+@pytest.mark.parametrize("shape", list(NEEDLES))
+def test_posting_plan_speedup(benchmark, report, scale, shape):
+    needle = NEEDLES[shape]
+    root = _document(scale)
+
+    # Warm both paths (index build on the indexed side), then assert
+    # the prefiltered scan returns exactly the naive scan's elements.
+    _, warm_indexed = _timed(_indexed_contains, root, needle)
+    _, warm_naive = _timed(naive_contains_scan, root, needle)
+    assert warm_indexed == warm_naive
+
+    naive_seconds = min(
+        _timed(naive_contains_scan, root, needle)[0] for _ in range(3))
+    benchmark.pedantic(_timed, args=(_indexed_contains, root, needle),
+                       rounds=3, iterations=1)
+    indexed_seconds = benchmark.stats.stats.min
+    speedup = naive_seconds / max(indexed_seconds, 1e-9)
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["naive_ms"] = round(naive_seconds * 1000, 3)
+    benchmark.extra_info["indexed_ms"] = round(indexed_seconds * 1000, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    report(f"keyword search [{scale:9s}] {shape:16s} "
+           f"naive {naive_seconds * 1000:9.2f} ms -> "
+           f"indexed {indexed_seconds * 1000:7.2f} ms  ({speedup:8.1f}x)")
+
+    # Acceptance floor: >= 10x over the naive full-document contains
+    # scan at the largest scale factor (measured margins are larger).
+    if scale == LARGEST:
+        assert speedup >= 10.0, (shape, speedup)
+
+
+@pytest.mark.parametrize("scale", [LARGEST])
+def test_slca_speedup(benchmark, report, scale):
+    root = _document(scale)
+    terms = ["provenance", "certificate"]
+
+    _, warm_indexed = _timed(keyword_search, root, terms)
+    _, warm_naive = _timed(naive_search, root, terms)
+    assert [(h.node, h.score) for h in warm_indexed] \
+        == [(h.node, h.score) for h in warm_naive]
+
+    naive_seconds = min(
+        _timed(naive_search, root, terms)[0] for _ in range(3))
+    benchmark.pedantic(_timed, args=(keyword_search, root, terms),
+                       rounds=3, iterations=1)
+    indexed_seconds = benchmark.stats.stats.min
+    speedup = naive_seconds / max(indexed_seconds, 1e-9)
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    report(f"SLCA search    [{scale:9s}] {'two-terms':16s} "
+           f"naive {naive_seconds * 1000:9.2f} ms -> "
+           f"indexed {indexed_seconds * 1000:7.2f} ms  ({speedup:8.1f}x)")
+    assert speedup >= 10.0, speedup

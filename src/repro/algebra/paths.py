@@ -37,6 +37,7 @@ __all__ = [
     "LIFTED_AXES",
     "REVERSE_AXES",
     "axis_step",
+    "contains_filter",
     "equality_probe_step",
     "merge_exploded_contexts",
     "positional_filter",
@@ -160,6 +161,65 @@ def axis_step(table: Table, axis: str, matches: Callable[[Node], bool],
         for pos, node in enumerate(results, start=1):
             rows.append((it, pos, node))
     flush()
+    return Table(("iter", "pos", "item"), rows)
+
+
+def contains_filter(table: Table, needle: str) -> Table:
+    """``[contains(., "lit")]`` as a posting-list prefilter + verify.
+
+    The keyword-search twin of the equality probe: instead of computing
+    every candidate's string value and substring-testing it (the
+    interpreter's per-candidate cost — ``string_value`` walks the whole
+    subtree), consult the tree's lazily built
+    :class:`~repro.search.index.TermIndex`.  The needle's token
+    constraints are joined against the term postings over each
+    candidate's ``[pre, pre + size]`` serial window (two bisects per
+    token), and only the surviving candidates pay the exact
+    (case-sensitive) substring verify — so results stay byte-identical
+    to the interpreter's ``fn:contains`` while non-matching subtrees
+    are dismissed without touching their text.
+
+    Rows keep document order within each iteration; ``pos`` is
+    re-derived dense per iteration, exactly like the other predicates.
+    """
+    from repro.search.index import term_index_for
+    from repro.search.stats import SEARCH_STATS
+
+    iter_index = table.col("iter")
+    item_index = table.col("item")
+    plans: dict[int, object] = {}
+    rows: list[tuple] = []
+    current_iter = None
+    pos = 0
+    hits = 0
+    for row in table.rows:
+        item = row[item_index]
+        if isinstance(item, Node):
+            root = item.root()
+            plan = plans.get(id(root))
+            if plan is None:
+                plan = term_index_for(root).contains_plan(needle)
+                plans[id(root)] = plan
+            if not plan.candidate(item):
+                continue
+            if needle not in item.string_value():
+                continue
+        else:
+            # Atomized/constructed items: plain row-wise containment.
+            value = item.string_value() \
+                if hasattr(item, "string_value") else str(item)
+            if needle not in value:
+                continue
+        it = row[iter_index]
+        if it != current_iter:
+            current_iter = it
+            pos = 0
+        pos += 1
+        hits += 1
+        rows.append((it, pos, item))
+    SEARCH_STATS.bump("search_queries")
+    if hits:
+        SEARCH_STATS.bump("postings_hits", hits)
     return Table(("iter", "pos", "item"), rows)
 
 

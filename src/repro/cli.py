@@ -29,6 +29,15 @@ Semantic problems (unknown functions, unbound variables, undeclared
 prefixes) print as ``file:line:col: severity [code]: message`` lines and
 exit non-zero; ``--analysis`` additionally prints each query's property
 summary (liftability verdict, updating-ness, site profile).
+
+``search`` runs an SLCA keyword search over the mounted documents
+through the inverted term index (:mod:`repro.search`)::
+
+    python -m repro.cli search rare vintage --doc db.xml=films.xml
+    python -m repro.cli search auction --doc db.xml=films.xml --ranked
+
+Hits print one per line as ``uri<TAB>score<TAB>xml``; ``--ranked``
+orders by descending term-frequency score, ``--limit N`` truncates.
 """
 
 from __future__ import annotations
@@ -107,6 +116,51 @@ def build_check_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_search_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli search",
+        description="SLCA keyword search over mounted documents.")
+    parser.add_argument("terms", nargs="+",
+                        help="search terms (conjunction of all tokens)")
+    parser.add_argument("--doc", action="append", default=[],
+                        metavar="URI=PATH",
+                        help="mount an XML document (repeatable)")
+    parser.add_argument("--ranked", action="store_true",
+                        help="order hits by descending term-frequency score")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="print at most N hits")
+    parser.add_argument("--xml-backend", choices=["expat", "python"],
+                        default=None,
+                        help="parse frontend for --doc mounts")
+    return parser
+
+
+def search_main(argv: list[str]) -> int:
+    """``repro search``: posting-list keyword search, one hit per line.
+
+    Exit status 0 when at least one hit was found, 1 otherwise (grep
+    conventions).
+    """
+    parser = build_search_parser()
+    args = parser.parse_args(argv)
+    if not args.doc:
+        parser.error("mount at least one document with --doc")
+
+    db = Database(xml_backend=args.xml_backend)
+    for spec in args.doc:
+        uri, path = _split_mount(spec)
+        db.register(uri, Path(path).read_bytes())
+
+    try:
+        hits = db.search(args.terms, ranked=args.ranked, limit=args.limit)
+    except XRPCReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for hit in hits:
+        print(f"{hit.uri}\t{hit.score}\t{serialize(hit.node)}")
+    return 0 if hits else 1
+
+
 def check_main(argv: list[str]) -> int:
     """``repro check``: lint queries through the static analyzer.
 
@@ -163,6 +217,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "check":
         return check_main(argv[1:])
+    if argv and argv[0] == "search":
+        return search_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

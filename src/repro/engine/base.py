@@ -48,6 +48,14 @@ class Explain:
     documents the parse frontend built during this execution (fn:doc on
     cold URIs, shipped Bulk RPC messages) and how many of those fell
     back from expat to the pure-python reference parser.
+
+    ``postings_built`` / ``postings_patched`` / ``search_queries`` /
+    ``postings_hits`` are the keyword-search deltas
+    (:data:`~repro.search.stats.SEARCH_STATS`): term postings
+    materialized by full :class:`~repro.search.index.TermIndex` builds
+    versus maintained incrementally by the PUL hooks, posting-list
+    query plans served (lifted ``contains`` prefilters), and the
+    results they surfaced.
     """
 
     plan: str
@@ -62,6 +70,10 @@ class Explain:
     index_patches: int = 0
     documents_parsed: int = 0
     parse_fallbacks: int = 0
+    postings_built: int = 0
+    postings_patched: int = 0
+    search_queries: int = 0
+    postings_hits: int = 0
     #: The prepare-time static analysis report (liftability prediction,
     #: updating-ness, site profile, semantic diagnostics) — memoized on
     #: the compiled query, so a plan-cache hit reattaches it for free.
@@ -91,6 +103,14 @@ class Explain:
                 "parse: "
                 f"documents={self.documents_parsed} "
                 f"fallbacks={self.parse_fallbacks}")
+        if (self.postings_built or self.postings_patched
+                or self.search_queries or self.postings_hits):
+            lines.append(
+                "search: "
+                f"postings built={self.postings_built} "
+                f"patched={self.postings_patched} "
+                f"queries={self.search_queries} "
+                f"hits={self.postings_hits}")
         return "\n".join(lines)
 
 
@@ -224,6 +244,7 @@ class Engine:
         outcome are recorded in ``last_plan`` / ``last_fallback_reason``
         and returned as the :class:`Explain`.
         """
+        from repro.search.stats import SEARCH_STATS
         from repro.xdm.structural import ENCODING_STATS
         from repro.xml.stats import PARSE_STATS
 
@@ -243,6 +264,7 @@ class Engine:
         # this thread, so its bumps land in this thread's counters).
         encoding_before = ENCODING_STATS.snapshot_local()
         parse_before = PARSE_STATS.snapshot_local()
+        search_before = SEARCH_STATS.snapshot_local()
 
         def update_deltas() -> dict:
             after = ENCODING_STATS.snapshot_local()
@@ -259,6 +281,10 @@ class Engine:
             deltas["parse_fallbacks"] = (
                 parse_after["fallbacks_to_python"]
                 - parse_before["fallbacks_to_python"])
+            search_after = SEARCH_STATS.snapshot_local()
+            for field in ("postings_built", "postings_patched",
+                          "search_queries", "postings_hits"):
+                deltas[field] = search_after[field] - search_before[field]
             return deltas
 
         fallback_reason = None

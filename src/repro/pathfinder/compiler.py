@@ -31,6 +31,7 @@ from repro.algebra.paths import (
     LIFTED_AXES,
     REVERSE_AXES,
     axis_step,
+    contains_filter,
     equality_probe_step,
     merge_exploded_contexts,
     positional_filter,
@@ -106,6 +107,44 @@ def remote_call_profile(compiled: CompiledQuery) -> tuple[int, bool]:
     return sites.count, sites.updating_remote
 
 
+def contains_predicate_spec(predicate: A.Expr) -> Optional[str]:
+    """The needle of a liftable ``[contains(., "lit")]`` predicate.
+
+    The shape the posting-list prefilter serves: an ``fn:contains``
+    call whose haystack is the candidate context item and whose needle
+    is a string literal (known at compile time, so the term-index plan
+    can be built once per step instead of per candidate).  Returns the
+    needle string, or ``None`` for every other shape.
+    """
+    if not isinstance(predicate, A.FunctionCall):
+        return None
+    if predicate.name.split(":")[-1] != "contains":
+        return None
+    if len(predicate.args) != 2:
+        return None
+    if not isinstance(predicate.args[0], A.ContextItem):
+        return None
+    needle = predicate.args[1]
+    if not isinstance(needle, A.Literal):
+        return None
+    value = needle.value
+    if not isinstance(value, AtomicValue) \
+            or value.type not in (xs.string, xs.untypedAtomic) \
+            or not isinstance(value.value, str):
+        return None
+    return value.value
+
+
+def _dynamic_contains_needle(predicate: A.Expr) -> bool:
+    """Is this a ``[contains(., needle)]`` whose needle is *not* a
+    string literal?  (The liftable shape minus its static needle — the
+    stable ``search-dynamic-needle`` fallback.)"""
+    return (isinstance(predicate, A.FunctionCall)
+            and predicate.name.split(":")[-1] == "contains"
+            and len(predicate.args) == 2
+            and isinstance(predicate.args[0], A.ContextItem))
+
+
 def _context_free_probe(expr: A.Expr) -> bool:
     """May *expr* be evaluated under the outer loop (no candidate focus)?"""
     if isinstance(expr, (A.Literal, A.VarRef)):
@@ -146,6 +185,8 @@ class UnsupportedExpression(XRPCReproError):
     function-not-lifted   a function outside the row-wise builtins
     comparison-not-lifted a non-general comparison
     positional-runtime    a predicate produced a number at runtime
+    search-dynamic-needle a ``contains(., needle)`` predicate whose
+                          needle is not a string literal
     cardinality           more than one item where a singleton is required
     unbound-variable      variable reference with no binding
     context-item          path or ``.`` with no context item in scope
@@ -286,6 +327,13 @@ class LoopLiftingCompiler:
                 for predicate in step.predicates:
                     if positional_predicate_spec(predicate) is not None:
                         continue  # lifted as a rank computation
+                    if contains_predicate_spec(predicate) is not None:
+                        continue  # lifted as a posting-list prefilter
+                    if _dynamic_contains_needle(predicate):
+                        raise _unsupported(
+                            predicate,
+                            "contains() needle is not a string literal",
+                            "search-dynamic-needle")
                     self.preflight(predicate)
             return
         raise _unsupported(expr, "outside the loop-lifted core")
@@ -705,6 +753,17 @@ class LoopLiftingCompiler:
         not track.
         """
         for predicate in predicates:
+            needle = contains_predicate_spec(predicate)
+            if needle is not None:
+                # Posting-list prefilter + exact verify over the term
+                # index — never compiles the predicate body, so the
+                # per-candidate focus machinery below is skipped whole.
+                table = contains_filter(table, needle)
+                continue
+            if _dynamic_contains_needle(predicate):
+                raise _unsupported(
+                    predicate, "contains() needle is not a string literal",
+                    "search-dynamic-needle")
             numbered = table.rownum("inner", order_by=("iter", "pos"))
             mapping = numbered.project("outer:iter", "inner")
             inner_loop = mapping.project("iter:inner")

@@ -44,6 +44,8 @@ _SYS_MODULE = """
 module namespace sys = "http://monetdb.cwi.nl/XQuery/sys";
 declare function sys:get-doc($uri as xs:string) as document-node()
 { doc($uri) };
+declare function sys:kw-search($terms as xs:string*) as node()*
+{ () };
 """
 _SYS_NS = "http://monetdb.cwi.nl/XQuery/sys"
 
@@ -88,6 +90,15 @@ class QueryResult:
         )
 
 
+@dataclass
+class DistributedSearchResult:
+    """Merged outcome of one distributed keyword search."""
+
+    hits: list
+    messages_sent: int
+    peers: list[str] = field(default_factory=list)
+
+
 class XRPCPeer:
     """One peer in the distributed XQuery network."""
 
@@ -109,6 +120,11 @@ class XRPCPeer:
         self.server = XRPCServer(self)
         self.evaluator = Evaluator()
         self.registry.register_source(_SYS_MODULE)
+        # The keyword-search service endpoint: the declaration's body is
+        # a stub — the serving side intercepts calls to it by identity
+        # (see run_function) and answers from the posting-list kernels.
+        self._kw_search_decl = self.registry.by_namespace(
+            _SYS_NS).get_function("kw-search", 1)
         register = getattr(transport, "register_peer", None)
         if register is not None:
             register(self.host, self.server.handle)
@@ -119,9 +135,40 @@ class XRPCPeer:
     def run_function(self, decl: A.FunctionDecl, params: list[list],
                      doc_view, session: ClientSession) -> tuple[list, PendingUpdateList]:
         """Apply a module function to unmarshaled parameters."""
+        if decl is self._kw_search_decl:
+            # Service endpoint, not a user function: answer from this
+            # peer's term indexes instead of evaluating the stub body.
+            return self._serve_keyword_search(params, doc_view), \
+                PendingUpdateList()
         ctx = self._make_context(doc_view, session)
         result = self.evaluator.call_user_function(decl, params, ctx)
         return result, ctx.pul or PendingUpdateList()
+
+    def _serve_keyword_search(self, params: list[list], doc_view) -> list:
+        """Serve one ``sys:kw-search`` bulk call: SLCA keyword search
+        over every document this peer holds (through *doc_view*, so
+        isolation snapshots are honoured), answered as ``<hit>`` wrapper
+        elements carrying the origin URI and term-frequency score —
+        self-describing on the wire, so the originator can merge ranked
+        results without a second round trip."""
+        from repro.search.index import keyword_search
+        from repro.xdm.atomic import AtomicValue
+        from repro.xml.parser import parse_document
+        from repro.xml.serializer import escape_attribute, serialize
+
+        [term_items] = params
+        terms = [item.value if isinstance(item, AtomicValue)
+                 else item.string_value() for item in term_items]
+        hits = []
+        for uri in self.store.uris():
+            document = doc_view.get(uri)
+            for hit in keyword_search(document, terms):
+                xml = (f'<hit uri="{escape_attribute(uri)}" '
+                       f'score="{hit.score}">'
+                       f"{serialize(hit.node)}</hit>")
+                wrapper = parse_document(xml)
+                hits.append(wrapper.children[0])
+        return hits
 
     def _make_context(self, doc_view, session: Optional[ClientSession]) -> DynamicContext:
         from repro.xquery.context import StaticContext
@@ -301,6 +348,59 @@ class XRPCPeer:
             index_patches=encoding_after["index_patches"]
             - encoding_before["index_patches"],
         )
+
+    def keyword_search(self, terms, peers: Optional[list[str]] = None,
+                       ranked: bool = False) -> "DistributedSearchResult":
+        """Distributed keyword search: one bulk message per site.
+
+        *terms* (a string or iterable of strings) is shipped to every
+        peer in *peers* as a single ``sys:kw-search`` request per site —
+        all terms travel in one message, dispatched in parallel across
+        distinct destinations like any Bulk RPC group — plus a local
+        posting-list search when this peer holds documents.  Each remote
+        answers with self-describing ``<hit uri score>`` wrappers; the
+        originator unwraps them into
+        :class:`~repro.search.index.SearchHit` records and merges
+        site-by-site in the order given, document order within each
+        site (each site's hits arrive doc-ordered by construction).
+        ``ranked=True`` re-sorts the merged list by descending
+        term-frequency score (stable, so ties keep the site/doc order).
+        """
+        from repro.search.index import SearchHit, keyword_search
+        from repro.xdm.atomic import string as make_string
+
+        if isinstance(terms, str):
+            terms = [terms]
+        else:
+            terms = list(terms)
+        peers = [normalize_peer_uri(peer) for peer in (peers or [])]
+        session = ClientSession(self.transport, origin=self.host)
+        term_args = [[make_string(term) for term in terms]]
+        requests = [
+            (peer, _SYS_NS, None, "kw-search", 1, [term_args], False)
+            for peer in peers if peer != self.host]
+        responses = session.call_parallel(requests) if requests else []
+        hits: list = []
+        remote = iter(responses)
+        for peer in peers:
+            if peer == self.host:
+                for uri in self.store.uris():
+                    for hit in keyword_search(self.store.get(uri), terms):
+                        hits.append(replace(hit, uri=uri))
+                continue
+            [result] = next(remote)
+            for wrapper in result:
+                attrs = {attr.name: attr.value for attr in wrapper.attributes}
+                payload = [child for child in wrapper.children][0]
+                hits.append(SearchHit(node=payload,
+                                      score=int(attrs["score"]),
+                                      uri=attrs["uri"]))
+        if ranked:
+            hits.sort(key=lambda hit: -hit.score)
+        return DistributedSearchResult(
+            hits=hits,
+            messages_sent=session.messages_sent,
+            peers=peers)
 
     def _make_execution_context(self, session: ClientSession, variables,
                                 try_lifted: bool) -> ExecutionContext:

@@ -1,0 +1,48 @@
+"""Keyword search over the value plane.
+
+The EMBANKS observation (PAPERS.md): keyword search in a structured
+database reduces to posting-list intersection plus finding the smallest
+elements containing all terms — and the pre/size/level window scans of
+the XPath accelerator already answer "which postings fall inside this
+subtree" with two bisects.  This package adds:
+
+* :class:`~repro.search.index.TermIndex` — a lazily built inverted
+  term → posting-list index over a tree's text and attribute values,
+  cached on the tree's :class:`~repro.xdm.structural.StructuralIndex`
+  and maintained incrementally across PULs by the same patch hooks that
+  keep the structural columns alive;
+* a sound substring *prefilter* for ``[contains(., "lit")]``
+  predicates (:meth:`TermIndex.contains_plan`) — the lifted plan checks
+  candidate windows against the posting lists and only computes
+  ``string_value`` for surviving candidates, with the interpreter's
+  exact ``fn:contains`` as the final verifier (results stay
+  byte-identical, case sensitivity included);
+* EMBANKS-style SLCA keyword search (:func:`keyword_search` /
+  :func:`~repro.search.naive.naive_search` as the differential
+  oracle): the smallest elements whose subtree contains every query
+  term, doc-ordered, with term-frequency scores;
+* :data:`~repro.search.stats.SEARCH_STATS` telemetry surfaced through
+  ``Explain`` and ``Database.stats()``.
+"""
+
+from repro.search.index import (
+    SearchHit,
+    TermIndex,
+    keyword_search,
+    term_index_for,
+)
+from repro.search.naive import naive_contains_scan, naive_search
+from repro.search.stats import SEARCH_STATS
+from repro.search.tokenizer import needle_token_spec, tokenize
+
+__all__ = [
+    "SEARCH_STATS",
+    "SearchHit",
+    "TermIndex",
+    "keyword_search",
+    "naive_contains_scan",
+    "naive_search",
+    "needle_token_spec",
+    "term_index_for",
+    "tokenize",
+]

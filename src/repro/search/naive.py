@@ -1,0 +1,73 @@
+"""Tree-walking reference implementations — the differential oracles.
+
+Nothing here touches postings, serials or windows: these walk the tree
+the obvious way, so every index-backed kernel has an independent
+implementation to be byte-compared against (the discipline every
+accelerated layer of this repo follows).
+"""
+
+from __future__ import annotations
+
+from repro.search.tokenizer import distinct_tokens
+from repro.xdm.nodes import ElementNode, Node, TextNode
+
+
+def naive_contains_scan(root: Node, needle: str) -> list[Node]:
+    """Every element under *root* whose string value contains *needle*
+    (exact, case-sensitive — the ``fn:contains`` semantics), in
+    document order.  The full-document scan the benchmark measures the
+    lifted posting plan against."""
+    return [node for node in root.root().descendants(include_self=True)
+            if isinstance(node, ElementNode)
+            and needle in node.string_value()]
+
+
+def naive_search(root: Node, terms) -> list:
+    """SLCA keyword search by tree walk: the elements whose subtree
+    (text and attribute values, distinct terms per node — the posting
+    granularity) contains every term and none of whose descendant
+    elements does; document order, term-frequency scored."""
+    from repro.search.index import SearchHit
+    from repro.search.tokenizer import tokenize
+
+    tokens: list[str] = []
+    for term in terms:
+        tokens.extend(tokenize(term))
+    tokens = list(dict.fromkeys(tokens))
+    if not tokens:
+        return []
+    wanted = set(tokens)
+    containing: list[tuple[Node, int]] = []
+    for node in root.root().descendants(include_self=True):
+        if not isinstance(node, ElementNode):
+            continue
+        present: set[str] = set()
+        count = 0
+        for member in node.descendants(include_self=True):
+            values = []
+            if isinstance(member, TextNode):
+                values.append(member.content)
+            for attribute in member.attributes:
+                values.append(attribute.value)
+            for value in values:
+                matched = wanted.intersection(distinct_tokens(value))
+                present |= matched
+                count += len(matched)
+        if present == wanted:
+            containing.append((node, count))
+    hits = []
+    for node, count in containing:
+        if any(other is not node and _is_descendant(other, node)
+               for other, _ in containing):
+            continue  # a smaller containing element exists below
+        hits.append(SearchHit(node=node, score=count))
+    return hits
+
+
+def _is_descendant(node: Node, ancestor: Node) -> bool:
+    parent = node.parent
+    while parent is not None:
+        if parent is ancestor:
+            return True
+        parent = parent.parent
+    return False

@@ -126,6 +126,19 @@ class DatabaseStats:
     parse_bytes_expat: int = 0
     parse_bytes_python: int = 0
     parse_fallbacks: int = 0
+    #: Keyword-search telemetry (process-wide
+    #: :data:`~repro.search.stats.SEARCH_STATS` totals):
+    #: ``term_index_builds`` full :class:`~repro.search.index.TermIndex`
+    #: materializations versus ``postings_patched`` incremental PUL-hook
+    #: maintenance; ``postings_built`` postings written by full builds;
+    #: ``search_queries`` posting-list plans served (lifted ``contains``
+    #: prefilters and :meth:`Database.search` calls) and
+    #: ``postings_hits`` the results they surfaced.
+    term_index_builds: int = 0
+    postings_built: int = 0
+    postings_patched: int = 0
+    search_queries: int = 0
+    postings_hits: int = 0
 
 
 class PreparedQuery:
@@ -290,7 +303,52 @@ class Database:
         return self.prepare(source).explain(
             variables=variables, context_item=context_item, **bindings)
 
+    # -- keyword search -----------------------------------------------------
+
+    def search(self, terms, *, uri: Optional[str] = None,
+               limit: Optional[int] = None, ranked: bool = False) -> list:
+        """SLCA keyword search over registered documents.
+
+        *terms* is a string or an iterable of strings; each is tokenized
+        (``\\w+``, case-folded) and the query is the conjunction of all
+        resulting tokens.  Hits are the smallest elements whose subtree
+        (text and attribute values) contains every token and none of
+        whose descendants also does — EMBANKS-style smallest lowest
+        common ancestors — served from each document's lazily built
+        :class:`~repro.search.index.TermIndex` posting lists.
+
+        Results are :class:`~repro.search.index.SearchHit` records with
+        ``uri`` filled; ``score`` is the term-frequency sum over the
+        hit's subtree.  Default order is document registration order
+        then document order within each document; ``ranked=True``
+        re-sorts by descending score (stable, so ties keep that order).
+        ``uri`` restricts the search to one document; ``limit`` caps the
+        returned list after ordering.
+        """
+        import dataclasses as _dataclasses
+
+        from repro.search.index import keyword_search
+
+        if isinstance(terms, str):
+            terms = [terms]
+        else:
+            terms = list(terms)
+        uris = [uri] if uri is not None else list(self.store.uris())
+        hits = []
+        for document_uri in uris:
+            document = self._resolve_document(document_uri)
+            if document is None:
+                raise KeyError(f"no document registered at {document_uri!r}")
+            for hit in keyword_search(document, terms):
+                hits.append(_dataclasses.replace(hit, uri=document_uri))
+        if ranked:
+            hits.sort(key=lambda hit: -hit.score)
+        if limit is not None:
+            hits = hits[:limit]
+        return hits
+
     def stats(self) -> DatabaseStats:
+        from repro.search.stats import SEARCH_STATS
         from repro.xdm.structural import ENCODING_STATS
         from repro.xml.parser import default_backend
         from repro.xml.stats import PARSE_STATS
@@ -298,6 +356,7 @@ class Database:
         cache = self.engine.cache_stats()
         encoding = ENCODING_STATS.snapshot()
         parse = PARSE_STATS.snapshot()
+        search = SEARCH_STATS.snapshot()
         with self._stats_lock:
             return DatabaseStats(
                 plan_cache_hits=cache["plan_cache_hits"],
@@ -321,6 +380,11 @@ class Database:
                 parse_bytes_expat=parse["bytes_expat"],
                 parse_bytes_python=parse["bytes_python"],
                 parse_fallbacks=parse["fallbacks_to_python"],
+                term_index_builds=search["term_index_builds"],
+                postings_built=search["postings_built"],
+                postings_patched=search["postings_patched"],
+                search_queries=search["search_queries"],
+                postings_hits=search["postings_hits"],
             )
 
     # -- internals ---------------------------------------------------------

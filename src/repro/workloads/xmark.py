@@ -156,3 +156,35 @@ READ_SUITE: dict[str, str] = {
     "flwor-paths":
         "for $p in doc('persons.xml')//person return $p/address/city",
 }
+
+
+#: The keyword-search suite: every ``contains`` shape the posting-list
+#: prefilter serves — literal needles over elements, text nodes and
+#: attributes, multi-token and punctuated needles, and composition with
+#: lifted axes/FLWOR.  Like :data:`READ_SUITE`, the whole suite must
+#: execute with ``plan == "lifted"`` (CI asserts 100% coverage) and each
+#: query's result must be byte-identical to the tree interpreter's
+#: ``fn:contains``.
+KEYWORD_SUITE: dict[str, str] = {
+    "contains-element":
+        "doc('persons.xml')//person[contains(., 'worldwide')]/name",
+    "contains-descendant":
+        "doc('auctions.xml')//closed_auction[contains(., 'vintage')]/price",
+    "contains-text":
+        "doc('auctions.xml')//text()[contains(., 'auction')]",
+    "contains-attribute":
+        "doc('auctions.xml')//buyer/@person[contains(., 'person1')]",
+    "contains-multi-token":
+        "doc('persons.xml')//address[contains(., 'Main St')]/city",
+    "contains-punctuated":
+        "doc('auctions.xml')//date[contains(., '/2006')]",
+    "contains-rooted":
+        "doc('persons.xml')/site/people/person[contains(., 'mint')]"
+        "/emailaddress",
+    "contains-flwor":
+        "for $i in doc('persons.xml')//interest"
+        "[contains(., 'collectible')] return $i",
+    "contains-chained":
+        "doc('persons.xml')//person[contains(., 'auction')]"
+        "[contains(., 'shipping')]/name",
+}

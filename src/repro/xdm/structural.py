@@ -132,7 +132,7 @@ class StructuralIndex:
     """
 
     __slots__ = ("root", "generation", "stale", "nodes", "sizes", "levels",
-                 "pre_of", "_by_name", "value_indexes")
+                 "pre_of", "_by_name", "value_indexes", "term_index")
 
     def __init__(self, root: Node, generation: int) -> None:
         self.root = root
@@ -141,6 +141,12 @@ class StructuralIndex:
         # Equality-predicate value indexes (the evaluator's hash-join
         # probes) live on the index so tree mutation drops them with it.
         self.value_indexes: dict = {}
+        # Inverted term index (repro.search.TermIndex), attached lazily
+        # by term_index_for(); duck-typed here so the storage layer does
+        # not depend on the search package.  It shares this index's
+        # lifetime (a stale structural index drops the postings too) and
+        # is patched by the same hooks that splice the columns.
+        self.term_index = None
         self._by_name: Optional[dict[str, list[int]]] = None
         self._build(root)
 
@@ -310,6 +316,8 @@ class StructuralIndex:
             if isinstance(node, ElementNode)]
         self._patch_partitions(pos, count, new_elements)
         self._patch_value_indexes(pos, count, evict)
+        if self.term_index is not None:
+            self.term_index.on_insert(new_nodes)
         ENCODING_STATS.bump("index_patches")
         return True
 
@@ -325,7 +333,8 @@ class StructuralIndex:
         if pos is None:
             return False
         count = self.sizes[pos] + 1
-        for node in self.nodes[pos:pos + count]:
+        removed = self.nodes[pos:pos + count]
+        for node in removed:
             pre_of.pop(id(node), None)
             if node._sidx is self:
                 node._sidx = None
@@ -344,6 +353,11 @@ class StructuralIndex:
         del self.levels[pos:pos + count]
         self._patch_partitions(pos, -count)
         self._patch_value_indexes(pos, -count, evict)
+        if self.term_index is not None:
+            # After the row splice: the seam repair must see the
+            # post-delete text sequence (the detached nodes still hold
+            # their content, so un-posting needs no reverse lookup).
+            self.term_index.on_delete(removed)
         ENCODING_STATS.bump("index_patches")
         return True
 
@@ -377,6 +391,8 @@ class StructuralIndex:
         if pos is None:
             return False
         self._evict_covering(pos)
+        if self.term_index is not None:
+            self.term_index.on_content(node)
         ENCODING_STATS.bump("index_patches")
         return True
 
@@ -394,6 +410,8 @@ class StructuralIndex:
         for attribute in attrs:
             attribute._sidx = self
         self._evict_covering(pos)
+        if self.term_index is not None:
+            self.term_index.on_attributes(owner)
         ENCODING_STATS.bump("index_patches")
         return True
 

@@ -107,6 +107,15 @@ CURATED = [
     # positional-runtime risk that actually bails mid-plan (a numeric
     # predicate outside the recognized positional specs)
     "doc('r.xml')//item[1 + 1]",
+    # contains predicates: literal needles lift (posting-list
+    # prefilter), dynamic needles are search-dynamic-needle, and a
+    # non-context haystack is function-not-lifted
+    "doc('r.xml')//item[contains(., 'a')]",
+    "doc('r.xml')//sec[contains(., 'missing words')]/item",
+    "for $i in doc('r.xml')//item[contains(., 'a')] return $i",
+    "for $i in doc('r.xml')//item return doc('r.xml')"
+    "//sec[contains(., string($i/@v))]",
+    "doc('r.xml')//sec[contains(@n, '1')]",
 ]
 
 
