@@ -87,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-lifted", action="store_true",
                         help="skip the loop-lifted relational plan and run "
                              "the tree interpreter directly")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="deadline budget for the query; the run fails "
+                             "with an error once the budget is exhausted")
     parser.add_argument("--xml-backend", choices=["expat", "python"],
                         default=None,
                         help="parse frontend for --doc mounts (default: "
@@ -248,7 +252,8 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         prepared = db.prepare(source)
-        result = prepared.execute(variables=variables or None)
+        result = prepared.execute(variables=variables or None,
+                                  timeout=args.timeout)
     except XRPCReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

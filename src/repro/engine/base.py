@@ -56,6 +56,13 @@ class Explain:
     versus maintained incrementally by the PUL hooks, posting-list
     query plans served (lifted ``contains`` prefilters), and the
     results they surfaced.
+
+    ``net_retries`` / ``net_giveups`` / ``net_breaker_opens`` /
+    ``net_breaker_fast_fails`` / ``net_deadline_expired`` /
+    ``net_degraded_peers`` are the fault-tolerance deltas
+    (:data:`~repro.net.retry.NET_STATS`): what the retry/backoff,
+    circuit-breaker, deadline, and partial-results machinery did while
+    this execution's exchanges were in flight.
     """
 
     plan: str
@@ -74,6 +81,12 @@ class Explain:
     postings_patched: int = 0
     search_queries: int = 0
     postings_hits: int = 0
+    net_retries: int = 0
+    net_giveups: int = 0
+    net_breaker_opens: int = 0
+    net_breaker_fast_fails: int = 0
+    net_deadline_expired: int = 0
+    net_degraded_peers: int = 0
     #: The prepare-time static analysis report (liftability prediction,
     #: updating-ness, site profile, semantic diagnostics) — memoized on
     #: the compiled query, so a plan-cache hit reattaches it for free.
@@ -111,6 +124,17 @@ class Explain:
                 f"patched={self.postings_patched} "
                 f"queries={self.search_queries} "
                 f"hits={self.postings_hits}")
+        if (self.net_retries or self.net_giveups or self.net_breaker_opens
+                or self.net_breaker_fast_fails or self.net_deadline_expired
+                or self.net_degraded_peers):
+            lines.append(
+                "net: "
+                f"retries={self.net_retries} "
+                f"giveups={self.net_giveups} "
+                f"breaker opens={self.net_breaker_opens} "
+                f"fast fails={self.net_breaker_fast_fails} "
+                f"deadline expired={self.net_deadline_expired} "
+                f"degraded peers={self.net_degraded_peers}")
         return "\n".join(lines)
 
 
@@ -244,6 +268,7 @@ class Engine:
         outcome are recorded in ``last_plan`` / ``last_fallback_reason``
         and returned as the :class:`Explain`.
         """
+        from repro.net.retry import NET_STATS
         from repro.search.stats import SEARCH_STATS
         from repro.xdm.structural import ENCODING_STATS
         from repro.xml.stats import PARSE_STATS
@@ -265,6 +290,7 @@ class Engine:
         encoding_before = ENCODING_STATS.snapshot_local()
         parse_before = PARSE_STATS.snapshot_local()
         search_before = SEARCH_STATS.snapshot_local()
+        net_before = NET_STATS.snapshot_local()
 
         def update_deltas() -> dict:
             after = ENCODING_STATS.snapshot_local()
@@ -285,6 +311,16 @@ class Engine:
             for field in ("postings_built", "postings_patched",
                           "search_queries", "postings_hits"):
                 deltas[field] = search_after[field] - search_before[field]
+            net_after = NET_STATS.snapshot_local()
+            for field, source in (("net_retries", "retries"),
+                                  ("net_giveups", "retry_giveups"),
+                                  ("net_breaker_opens", "breaker_opens"),
+                                  ("net_breaker_fast_fails",
+                                   "breaker_fast_fails"),
+                                  ("net_deadline_expired",
+                                   "deadline_expired"),
+                                  ("net_degraded_peers", "degraded_peers")):
+                deltas[field] = net_after[source] - net_before[source]
             return deltas
 
         fallback_reason = None

@@ -80,7 +80,58 @@ class XRPCFault(XRPCReproError):
 
 
 class TransportError(XRPCReproError):
-    """Failure at the network transport layer (peer unreachable, etc.)."""
+    """Failure at the network transport layer (peer unreachable, etc.).
+
+    The fault-tolerance layer (:mod:`repro.net.retry`) classifies
+    transport failures through the subclasses below; a bare
+    ``TransportError`` is conservatively treated like a failure that may
+    have reached the peer (retried only for retry-safe exchanges).
+    """
+
+
+class RetryableTransportError(TransportError):
+    """A transient transport failure that a retry may cure.
+
+    ``request_sent`` distinguishes the two halves of the retry matrix:
+
+    * ``False`` — the request never reached the peer (connect refused,
+      pool closed, dropped on the wire before delivery): always safe to
+      retry, even for updating calls.
+    * ``True`` — the request may have been processed and the failure hit
+      on the way back (connection reset mid-response, torn/truncated or
+      otherwise malformed reply, stale duplicated response): retried
+      only for retry-safe (non-updating) exchanges, since the peer may
+      already have applied the call.
+    """
+
+    def __init__(self, message: str, request_sent: bool = False) -> None:
+        self.request_sent = request_sent
+        super().__init__(message)
+
+
+class FatalTransportError(TransportError):
+    """A transport failure no retry can cure (misconfigured endpoint,
+    unresolvable peer, non-SOAP error body from a proxy/404 page)."""
+
+
+class CircuitOpenError(FatalTransportError):
+    """Fail-fast refusal: the destination's circuit breaker is open.
+
+    Raised *instead of* attempting an exchange while a peer is deemed
+    dead; clears once the breaker's cooldown elapses and a half-open
+    probe succeeds.
+    """
+
+    def __init__(self, destination: str, retry_after: float) -> None:
+        self.destination = destination
+        self.retry_after = retry_after
+        super().__init__(
+            f"circuit breaker open for {destination!r} "
+            f"(retry after {retry_after:.3g}s)")
+
+
+class DeadlineExceeded(TransportError):
+    """The per-query deadline budget ran out before the work completed."""
 
 
 class IsolationError(XRPCFault):

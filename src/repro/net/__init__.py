@@ -13,13 +13,22 @@ channel:
   runs over HTTP/SOAP like the paper's SHTTPD-based implementation.
   Backed by :mod:`repro.net.pool`: persistent keep-alive connections per
   peer and true concurrent per-destination ``send_parallel`` fan-out.
+
+The fault-tolerance layer stacks on top of either transport:
+:mod:`repro.net.retry` (deadlines, retry/backoff, circuit breakers,
+the :class:`~repro.net.retry.ResilientChannel` driver) and
+:mod:`repro.net.faults` (the seeded chaos-testing wrapper).
 """
 
 from repro.net.clock import VirtualClock, WallClock
 from repro.net.cost import NetworkCostModel, PeerCostModel
+from repro.net.faults import FaultInjectingTransport, FaultPlan
 from repro.net.pool import ConnectionPool, PeerStats, dispatch_parallel
+from repro.net.retry import (NET_STATS, BreakerRegistry, ChannelRequest,
+                             CircuitBreaker, Deadline, NetEvents,
+                             ResilientChannel, RetryPolicy)
 from repro.net.simulated import SimulatedNetwork
-from repro.net.transport import Transport, normalize_peer_uri
+from repro.net.transport import ExchangeSpec, Transport, normalize_peer_uri
 from repro.net.http import HttpTransport, HttpXRPCServer
 
 __all__ = [
@@ -32,7 +41,18 @@ __all__ = [
     "dispatch_parallel",
     "SimulatedNetwork",
     "Transport",
+    "ExchangeSpec",
     "normalize_peer_uri",
     "HttpTransport",
     "HttpXRPCServer",
+    "NET_STATS",
+    "BreakerRegistry",
+    "ChannelRequest",
+    "CircuitBreaker",
+    "Deadline",
+    "NetEvents",
+    "ResilientChannel",
+    "RetryPolicy",
+    "FaultInjectingTransport",
+    "FaultPlan",
 ]

@@ -12,9 +12,10 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 
-from repro.errors import TransportError
-from repro.net.pool import ConnectionPool, PeerStats, dispatch_parallel
-from repro.net.transport import Transport, normalize_peer_uri
+from repro.errors import FatalTransportError, TransportError
+from repro.net.pool import (ConnectionPool, PeerStats, dispatch_parallel,
+                            dispatch_parallel_captured)
+from repro.net.transport import ExchangeSpec, Transport, normalize_peer_uri
 
 Handler = Callable[[str], str]
 
@@ -104,13 +105,17 @@ class HttpTransport(Transport):
     }
 
     def __init__(self, endpoints: Optional[dict[str, str]] = None,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, breakers=None) -> None:
         # Logical peer URI/host -> "127.0.0.1:<port>".
         self._endpoints = {
             normalize_peer_uri(key): value
             for key, value in (endpoints or {}).items()
         }
-        self._pool = ConnectionPool(timeout=timeout)
+        # `breakers` (a repro.net.retry.BreakerRegistry) arms the pool's
+        # per-address fail-fast gate; None leaves breakers to the
+        # ResilientChannel layer above (the usual arrangement — arming
+        # both would double-count failures).
+        self._pool = ConnectionPool(timeout=timeout, breakers=breakers)
 
     def register_endpoint(self, peer_uri: str, address: str) -> None:
         self._endpoints[normalize_peer_uri(peer_uri)] = address
@@ -124,20 +129,25 @@ class HttpTransport(Transport):
         return self._pool.stats(self._resolve(peer_uri))
 
     def send(self, destination: str, payload: str) -> str:
-        address = self._resolve(destination)
-        # Updating requests must not be replayed on a stale-connection
-        # retry once they may have reached the server (the update could
-        # apply twice); read-only exchanges are idempotent.
-        retry_safe = 'updCall="true"' not in payload
+        # Bare send has no fault-tolerance contract attached: assume the
+        # exchange is idempotent.  Callers that know better (updating
+        # RPCs) go through `exchange` with an explicit `retry_safe`
+        # verdict from the static analyzer — never a payload sniff.
+        return self.exchange(ExchangeSpec(destination, payload))
+
+    def exchange(self, spec: ExchangeSpec) -> str:
+        address = self._resolve(spec.destination)
         status, body = self._pool.request(
-            address, "/xrpc", payload.encode("utf-8"),
-            headers=self.REQUEST_HEADERS, retry_safe=retry_safe)
+            address, "/xrpc", spec.payload.encode("utf-8"),
+            headers=self.REQUEST_HEADERS, retry_safe=spec.retry_safe,
+            timeout=spec.timeout)
         text = body.decode("utf-8", errors="replace")
         if status >= 400 and not _looks_like_soap(text):
             # A misconfigured endpoint (HTML 404 page, proxy error, ...)
-            # is a transport failure, not a SOAP fault to be parsed.
+            # is a transport failure, not a SOAP fault to be parsed —
+            # and not one a retry can cure.
             summary = " ".join(text.split())[:120] or "<empty body>"
-            raise TransportError(
+            raise FatalTransportError(
                 f"HTTP {status} from http://{address}/xrpc with non-SOAP "
                 f"body: {summary}")
         # SOAP faults ride on HTTP 500; surface the fault envelope.
@@ -146,6 +156,11 @@ class HttpTransport(Transport):
     def send_parallel(self, requests: list[tuple[str, str]]) -> list[str]:
         """Concurrent per-destination fan-out over pooled connections."""
         return dispatch_parallel(self.send, requests)
+
+    def exchange_many(self,
+                      specs: list[ExchangeSpec]) -> list[str | TransportError]:
+        """Captured per-destination fan-out (the resilient batch path)."""
+        return dispatch_parallel_captured(self.exchange, specs)
 
     def close(self) -> None:
         self._pool.close()

@@ -19,12 +19,17 @@ from __future__ import annotations
 
 import http.client
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-from repro.errors import TransportError
-from repro.net.transport import normalize_peer_uri
+from repro.errors import (CircuitOpenError, FatalTransportError,
+                          RetryableTransportError, TransportError)
+from repro.net.transport import ExchangeSpec, normalize_peer_uri
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.net.retry import BreakerRegistry
 
 
 def _split_address(address: str) -> tuple[str, int]:
@@ -39,7 +44,8 @@ def _split_address(address: str) -> tuple[str, int]:
     try:
         return host, int(port) if port else 80
     except ValueError:
-        raise TransportError(f"invalid peer address {address!r}") from None
+        raise FatalTransportError(
+            f"invalid peer address {address!r}") from None
 
 
 @dataclass
@@ -65,22 +71,28 @@ class ConnectionPool:
     """
 
     def __init__(self, timeout: float = 30.0,
-                 max_idle_per_peer: int = 8) -> None:
+                 max_idle_per_peer: int = 8,
+                 breakers: "BreakerRegistry | None" = None) -> None:
         self._timeout = timeout
         self._max_idle = max_idle_per_peer
         self._lock = threading.Lock()
         self._idle: dict[str, list[http.client.HTTPConnection]] = {}
         self._stats: dict[str, PeerStats] = {}
         self._closed = False
+        # Optional per-address circuit breakers: while an address's
+        # breaker is open, `request` fails fast with CircuitOpenError
+        # instead of dialing a peer known to be down.
+        self._breakers = breakers
 
     def stats(self, address: str) -> PeerStats:
         with self._lock:
             return self._stats.setdefault(address, PeerStats())
 
-    def _checkout(self, address: str) -> tuple[http.client.HTTPConnection, bool]:
+    def _checkout(self, address: str,
+                  timeout: float) -> tuple[http.client.HTTPConnection, bool]:
         with self._lock:
             if self._closed:
-                raise TransportError("connection pool is closed")
+                raise FatalTransportError("connection pool is closed")
             stats = self._stats.setdefault(address, PeerStats())
             idle = self._idle.get(address)
             if idle:
@@ -89,7 +101,7 @@ class ConnectionPool:
             stats.connections_opened += 1
         host, port = _split_address(address)
         return http.client.HTTPConnection(
-            host, port, timeout=self._timeout), False
+            host, port, timeout=timeout), False
 
     def _checkin(self, address: str,
                  connection: http.client.HTTPConnection,
@@ -105,7 +117,8 @@ class ConnectionPool:
 
     def request(self, address: str, path: str, body: bytes,
                 headers: dict[str, str],
-                retry_safe: bool = True) -> tuple[int, bytes]:
+                retry_safe: bool = True,
+                timeout: float | None = None) -> tuple[int, bytes]:
         """One POST exchange; returns ``(status, response body)``.
 
         ``retry_safe=False`` marks a non-idempotent exchange (an updating
@@ -113,10 +126,25 @@ class ConnectionPool:
         *sending* on a stale kept-alive connection — the request cannot
         have executed — but never after the request went out, since the
         server may already have applied it.
+
+        ``timeout`` is the exchange's remaining deadline budget: the
+        socket timeout becomes ``min(timeout, pool default)`` so a
+        doomed request cannot outlive its query.
         """
+        breaker = (self._breakers.get(address)
+                   if self._breakers is not None else None)
+        if breaker is not None and not breaker.allow(time.monotonic()):
+            raise CircuitOpenError(address,
+                                   breaker.retry_after(time.monotonic()))
+        effective = (self._timeout if timeout is None
+                     else min(timeout, self._timeout))
         retried = False
         while True:
-            connection, reused = self._checkout(address)
+            connection, reused = self._checkout(address, effective)
+            if reused and connection.sock is not None:
+                # A kept-alive socket still carries the previous
+                # exchange's timeout; re-arm it with this one's budget.
+                connection.sock.settimeout(effective)
             sent = False
             try:
                 connection.request("POST", path, body=body, headers=headers)
@@ -132,8 +160,18 @@ class ConnectionPool:
                     with self._lock:
                         self._stats[address].retries += 1
                     continue
-                raise TransportError(
-                    f"cannot reach http://{address}{path}: {exc}") from exc
+                if breaker is not None:
+                    breaker.record_failure(time.monotonic())
+                raise RetryableTransportError(
+                    f"cannot reach http://{address}{path}: {exc}",
+                    request_sent=sent) from exc
+            except BaseException:
+                # Any other failure (handler bug, cancellation, ...):
+                # the connection's protocol state is unknown — close and
+                # drop it rather than ever returning it to the idle
+                # pool, where it would poison a later exchange.
+                connection.close()
+                raise
             with self._lock:
                 stats = self._stats[address]
                 stats.requests += 1
@@ -141,6 +179,8 @@ class ConnectionPool:
                 stats.bytes_received += len(payload)
             self._checkin(address, connection,
                           reusable=not response.will_close)
+            if breaker is not None:
+                breaker.record_success()
             return response.status, payload
 
     def close(self) -> None:
@@ -195,3 +235,40 @@ def dispatch_parallel(send: Callable[[str, str], str],
         for future in futures:
             future.result()
     return responses
+
+
+def dispatch_parallel_captured(
+        exchange: Callable[[ExchangeSpec], str],
+        specs: list[ExchangeSpec]) -> list["str | TransportError"]:
+    """Per-destination fan-out of specs, capturing per-entry failures.
+
+    Same branch shape as :func:`dispatch_parallel`, but one entry's
+    :class:`TransportError` lands in its own result slot instead of
+    aborting the whole fan-out — the resilience layer above retries or
+    degrades peers independently.  Non-transport exceptions still
+    propagate (they are bugs, not network weather).
+    """
+    if not specs:
+        return []
+    branches: dict[str, list[int]] = {}
+    for index, spec in enumerate(specs):
+        branches.setdefault(
+            normalize_peer_uri(spec.destination), []).append(index)
+    results: list = [None] * len(specs)
+
+    def run_branch(indexes: list[int]) -> None:
+        for index in indexes:
+            try:
+                results[index] = exchange(specs[index])
+            except TransportError as exc:
+                results[index] = exc
+
+    if len(branches) == 1:
+        run_branch(next(iter(branches.values())))
+        return results
+    with ThreadPoolExecutor(max_workers=len(branches)) as executor:
+        futures = [executor.submit(run_branch, indexes)
+                   for indexes in branches.values()]
+        for future in futures:
+            future.result()
+    return results

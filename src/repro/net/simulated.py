@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import TransportError
+from repro.errors import FatalTransportError, TransportError
 from repro.net.clock import VirtualClock
 from repro.net.cost import NetworkCostModel
 from repro.net.pool import group_by_destination
-from repro.net.transport import Transport, normalize_peer_uri
+from repro.net.transport import ExchangeSpec, Transport, normalize_peer_uri
 
 Handler = Callable[[str], str]
 
@@ -43,7 +43,9 @@ class SimulatedNetwork(Transport):
         key = normalize_peer_uri(destination)
         handler = self._handlers.get(key)
         if handler is None:
-            raise TransportError(
+            # A peer that simply does not exist is a configuration
+            # error: no amount of retrying will register it.
+            raise FatalTransportError(
                 f"no peer registered at {destination!r} (key {key!r})")
         self.messages_sent += 1
         request_bytes = len(payload.encode("utf-8"))
@@ -82,6 +84,32 @@ class SimulatedNetwork(Transport):
         self._rewind(start)
         self.clock.advance(max(end_times) - start)
         return responses
+
+    def exchange_many(self,
+                      specs: list[ExchangeSpec]) -> list[str | TransportError]:
+        """Captured parallel dispatch: branch failures fill their own
+        slots (and still charge their branch's virtual time), the clock
+        advances by the slowest branch as in :meth:`send_parallel`."""
+        if not specs:
+            return []
+        branches: dict[str, list[int]] = {}
+        for index, spec in enumerate(specs):
+            branches.setdefault(
+                normalize_peer_uri(spec.destination), []).append(index)
+        start = self.clock.now()
+        results: list = [None] * len(specs)
+        end_times: list[float] = []
+        for indexes in branches.values():
+            self._rewind(start)
+            for index in indexes:
+                try:
+                    results[index] = self.exchange(specs[index])
+                except TransportError as exc:
+                    results[index] = exc
+            end_times.append(self.clock.now())
+        self._rewind(start)
+        self.clock.advance(max(end_times) - start)
+        return results
 
     def _rewind(self, timestamp: float) -> None:
         # VirtualClock forbids moving backwards through its public API to

@@ -9,6 +9,9 @@ transports route on.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import TransportError
 
 
 def normalize_peer_uri(uri: str) -> str:
@@ -18,6 +21,28 @@ def normalize_peer_uri(uri: str) -> str:
             uri = uri[len(scheme):]
             break
     return uri.split("/", 1)[0].rstrip("/") or "localhost"
+
+
+@dataclass
+class ExchangeSpec:
+    """One request/response exchange plus its fault-tolerance contract.
+
+    ``retry_safe``
+        Whether the exchange may be replayed after the request possibly
+        reached the peer.  Decided by the *caller* from the static
+        analyzer's updating-ness verdict (never by sniffing the payload
+        text): read-only exchanges are idempotent under XRPC's
+        repeatable-read isolation, updating ones are not.
+    ``timeout``
+        Remaining deadline budget in seconds, or ``None`` for the
+        transport's default.  Real transports turn this into a socket
+        timeout so a doomed exchange cannot outlive its query.
+    """
+
+    destination: str
+    payload: str
+    retry_safe: bool = True
+    timeout: float | None = None
 
 
 class Transport(ABC):
@@ -39,6 +64,37 @@ class Transport(ABC):
         """
         return [self.send(destination, payload)
                 for destination, payload in requests]
+
+    def exchange(self, spec: ExchangeSpec) -> str:
+        """One exchange with its fault-tolerance contract attached.
+
+        The base implementation ignores ``retry_safe``/``timeout`` and
+        delegates to :meth:`send`; transports that can honour them
+        (:class:`~repro.net.http.HttpTransport` maps ``timeout`` to the
+        socket timeout and ``retry_safe`` to the stale-keep-alive retry
+        rule) override this.
+        """
+        return self.send(spec.destination, spec.payload)
+
+    def exchange_many(self,
+                      specs: list[ExchangeSpec]) -> list[str | TransportError]:
+        """Dispatch several exchanges, capturing per-entry failures.
+
+        Unlike :meth:`send_parallel` — where the first branch failure
+        aborts the whole fan-out — every entry runs and the result slot
+        holds either the response string or the ``TransportError`` that
+        branch raised, so the retry/partial-results layer above can
+        treat peers independently.  The default runs sequentially;
+        transports override for true parallelism (HTTP threads) or
+        virtual-time branch overlap (the simulated network).
+        """
+        results: list[str | TransportError] = []
+        for spec in specs:
+            try:
+                results.append(self.exchange(spec))
+            except TransportError as exc:
+                results.append(exc)
+        return results
 
     def close(self) -> None:
         """Release transport resources (pooled connections, threads).

@@ -5,34 +5,66 @@ request with the query's queryID (when repeatable-read isolation is on),
 counts messages, and accumulates the participating-peer set piggybacked
 on responses — which the originating peer later registers with the 2PC
 coordinator.
+
+Fault tolerance: a session constructed with a
+:class:`~repro.net.retry.ResilientChannel` routes every exchange
+through the retry/breaker/deadline policy.  Each *attempt* carries a
+fresh exchange id (echoed by the server, so a stale duplicated response
+is detected rather than trusted) and the deadline's current remaining
+budget in the SOAP header.  Whether an exchange is ``retry_safe`` is the
+explicit ``updating`` verdict threaded from the caller — the static
+analyzer's updating-ness result — never a sniff of the payload text.
+Without a channel the session degrades to the direct single-attempt
+behaviour (still threading ``retry_safe`` into the transport's
+stale-keep-alive retry rule).
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
-from repro.errors import XRPCFault
-from repro.net.transport import Transport, normalize_peer_uri
+from repro.errors import (RetryableTransportError, TransportError, XRPCFault,
+                          XRPCReproError)
+from repro.net.retry import ChannelRequest, Deadline, NetEvents, \
+    ResilientChannel
+from repro.net.transport import ExchangeSpec, Transport, normalize_peer_uri
 from repro.soap.messages import (
     QueryID,
     TxnCommand,
     TxnResult,
+    XRPCFaultMessage,
     XRPCRequest,
+    XRPCResponse,
     build_request,
     build_txn_command,
     parse_message,
-    parse_response,
 )
+
+#: Process-wide exchange-id source.  Ids must be unique across sessions
+#: (a stale response cached by the network could otherwise collide with
+#: a later session's expectation), cheap, and free of wall-clock reads.
+_EXCHANGE_IDS = itertools.count(1)
+
+
+def _next_exchange_id(origin: str) -> str:
+    return f"{origin}-{next(_EXCHANGE_IDS)}"
 
 
 class ClientSession:
     """Per-query XRPC client state."""
 
     def __init__(self, transport: Transport, origin: str,
-                 query_id: Optional[QueryID] = None) -> None:
+                 query_id: Optional[QueryID] = None,
+                 channel: Optional[ResilientChannel] = None,
+                 deadline: Optional[Deadline] = None,
+                 events: Optional[NetEvents] = None) -> None:
         self.transport = transport
         self.origin = origin
         self.query_id = query_id
+        self.channel = channel
+        self.deadline = deadline
+        self.events = events
         self.participants: list[str] = []
         self.messages_sent = 0
         self.calls_shipped = 0
@@ -57,6 +89,83 @@ class ClientSession:
             if peer not in self.participants and peer != self.origin:
                 self.participants.append(peer)
 
+    # -- response decoding --------------------------------------------------
+
+    def _decode(self, raw: str, expected_id: Optional[str],
+                destination: str):
+        """Parse one reply, converting undecodable or mis-correlated
+        bytes into retryable transport failures.
+
+        Torn bodies, garbage SOAP, and stale duplicated responses all
+        reach here as *strings* — only the per-attempt exchange-id echo
+        (and well-formedness) separates them from the real answer.  They
+        classify as ``request_sent=True``: the peer may have processed
+        the request even though its answer never usably arrived.
+
+        A response carrying *no* id comes from a server that does not
+        implement the echo (e.g. a wrapped third-party engine building
+        its envelope in XQuery) and is accepted as-is — duplicate
+        detection needs both sides to play.
+        """
+        try:
+            message = parse_message(raw)
+        except XRPCReproError as exc:
+            raise RetryableTransportError(
+                f"undecodable response from {destination!r}: {exc}",
+                request_sent=True) from exc
+        if expected_id is not None and message.exchange_id is not None \
+                and message.exchange_id != expected_id:
+            raise RetryableTransportError(
+                f"response from {destination!r} answers exchange "
+                f"{message.exchange_id!r}, expected {expected_id!r} "
+                f"(stale duplicate)", request_sent=True)
+        return message
+
+    @staticmethod
+    def _extract_results(message, calls: list, updating: bool) -> list[list]:
+        """Per-call result sequences from a decoded reply message."""
+        if isinstance(message, XRPCFaultMessage):
+            message.raise_()
+        if not isinstance(message, XRPCResponse):
+            raise XRPCFault("env:Receiver",
+                            "expected an XRPC response message")
+        per_call = message.results
+        if len(per_call) != len(calls):
+            if updating and not per_call:
+                # An updating response may legitimately omit the (all
+                # empty) result sequences altogether.
+                return [[] for _ in calls]
+            raise XRPCFault(
+                "env:Receiver",
+                f"bulk response carries {len(per_call)} results "
+                f"for {len(calls)} calls")
+        return per_call
+
+    def _channel_entry(self, destination: str, request: XRPCRequest,
+                       calls: list, updating: bool,
+                       tolerate_faults: bool = False) -> ChannelRequest:
+        """One resilient exchange: fresh id + budget per attempt."""
+
+        def build(attempt: int, remaining: Optional[float]) -> str:
+            request.exchange_id = _next_exchange_id(self.origin)
+            request.deadline_remaining = remaining
+            return build_request(request)
+
+        def parse(raw: str):
+            message = self._decode(raw, request.exchange_id, destination)
+            try:
+                per_call = self._extract_results(message, calls, updating)
+            except XRPCFault:
+                if tolerate_faults:
+                    return None
+                raise
+            self._record_participants(destination,
+                                      message.participating_peers)
+            return per_call
+
+        return ChannelRequest(destination, build, parse,
+                              retry_safe=not updating)
+
     # -- calls ------------------------------------------------------------------
 
     def call(self, destination: str, module_uri: str, location: Optional[str],
@@ -70,75 +179,102 @@ class ClientSession:
                                      updating)
         for params in calls:
             request.add_call(params)
-        payload = build_request(request)
         self.messages_sent += 1
         self.calls_shipped += len(calls)
-        raw = self.transport.send(destination, payload)
-        response = parse_response(raw)
-        self._record_participants(destination, response.participating_peers)
-        if len(response.results) != len(calls):
-            if updating and not response.results:
-                # An updating response may legitimately omit the (all
-                # empty) result sequences altogether.
-                return [[] for _ in calls]
-            raise XRPCFault(
-                "env:Receiver",
-                f"bulk response carries {len(response.results)} results "
-                f"for {len(calls)} calls")
-        return response.results
+        if self.channel is not None:
+            entry = self._channel_entry(destination, request, calls, updating)
+            return self.channel.exchange(
+                destination, entry.build, entry.parse,
+                retry_safe=entry.retry_safe,
+                deadline=self.deadline, events=self.events)
+        # Direct single-attempt path (no resilience policy attached);
+        # retry-safety still reaches the transport's stale-keep-alive
+        # retry rule.
+        raw = self.transport.exchange(ExchangeSpec(
+            destination, build_request(request), retry_safe=not updating))
+        message = self._decode(raw, None, destination)
+        per_call = self._extract_results(message, calls, updating)
+        self._record_participants(destination, message.participating_peers)
+        return per_call
 
     def call_parallel(self, grouped: list[tuple[str, str, Optional[str], str,
                                                 int, list[list[list]], bool]],
                       tolerate_faults: bool = False,
-                      ) -> list[Optional[list[list]]]:
+                      capture_transport_errors: bool = False,
+                      ) -> list:
         """Dispatch several bulk requests to different peers in parallel.
 
         Each entry is ``(destination, module_uri, location, function,
         arity, calls, updating)``.  Returns the per-request result lists
         in input order.
 
-        With ``tolerate_faults`` a faulting request yields ``None``
-        instead of raising — used by the speculative phase of the bulk
-        executor, where a recorded call may have placeholder-derived
-        arguments and its *direct* re-send (with real arguments) is the
-        authoritative attempt.
+        With ``tolerate_faults`` a request answered by a SOAP *fault*
+        yields ``None`` instead of raising — used by the speculative
+        phase of the bulk executor, where a recorded call may have
+        placeholder-derived arguments and its *direct* re-send (with
+        real arguments) is the authoritative attempt.
+
+        With ``capture_transport_errors`` (requires a channel) a request
+        whose *transport* failed terminally yields its
+        :class:`TransportError` in the result slot instead of raising —
+        the partial-results ("degrade") policy turns those slots into a
+        degraded-peers report.
         """
-        payloads = []
-        for destination, module_uri, location, function, arity, calls, updating \
-                in grouped:
+        if self.channel is not None:
+            return self._call_parallel_channel(grouped, tolerate_faults,
+                                               capture_transport_errors)
+        requests = []
+        specs = []
+        for destination, module_uri, location, function, arity, calls, \
+                updating in grouped:
             request = self._make_request(module_uri, location, function,
                                          arity, updating)
             for params in calls:
                 request.add_call(params)
-            payloads.append((destination, build_request(request)))
+            requests.append(request)
+            specs.append(ExchangeSpec(destination, build_request(request),
+                                      retry_safe=not updating))
             self.messages_sent += 1
             self.calls_shipped += len(calls)
-        raw_responses = self.transport.send_parallel(payloads)
-        results: list[Optional[list[list]]] = []
+        raw_responses = self.transport.exchange_many(specs)
+        results: list = []
         for (destination, _module, _location, _function, _arity, calls,
              updating), raw in zip(grouped, raw_responses):
+            if isinstance(raw, TransportError):
+                if capture_transport_errors:
+                    results.append(raw)
+                    continue
+                raise raw
             try:
-                response = parse_response(raw)
-                per_call = response.results
-                if len(per_call) != len(calls):
-                    if updating and not per_call:
-                        # Updating responses may omit the (all empty)
-                        # result sequences.
-                        per_call = [[] for _ in calls]
-                    else:
-                        raise XRPCFault(
-                            "env:Receiver",
-                            f"bulk response carries {len(per_call)} "
-                            f"results for {len(calls)} calls")
+                message = self._decode(raw, None, destination)
+                per_call = self._extract_results(message, calls, updating)
             except XRPCFault:
                 if tolerate_faults:
                     results.append(None)
                     continue
                 raise
             self._record_participants(destination,
-                                      response.participating_peers)
+                                      message.participating_peers)
             results.append(per_call)
         return results
+
+    def _call_parallel_channel(self, grouped, tolerate_faults: bool,
+                               capture_transport_errors: bool) -> list:
+        entries = []
+        for destination, module_uri, location, function, arity, calls, \
+                updating in grouped:
+            request = self._make_request(module_uri, location, function,
+                                         arity, updating)
+            for params in calls:
+                request.add_call(params)
+            self.messages_sent += 1
+            self.calls_shipped += len(calls)
+            entries.append(self._channel_entry(
+                destination, request, calls, updating,
+                tolerate_faults=tolerate_faults))
+        return self.channel.exchange_many(
+            entries, deadline=self.deadline, events=self.events,
+            capture=capture_transport_errors)
 
     # -- 2PC driver side ---------------------------------------------------------
 
@@ -146,15 +282,37 @@ class ClientSession:
         if self.query_id is None:
             raise XRPCFault("env:Sender",
                             "transaction commands require a queryID")
-        payload = build_txn_command(TxnCommand(kind, self.query_id))
+        command = TxnCommand(kind, self.query_id)
         self.messages_sent += 1
-        raw = self.transport.send(destination, payload)
-        message = parse_message(raw)
+
+        def build(attempt: int, remaining: Optional[float]) -> str:
+            command.exchange_id = _next_exchange_id(self.origin)
+            command.deadline_remaining = remaining
+            return build_txn_command(command)
+
+        def parse(raw: str) -> TxnResult:
+            message = self._decode(raw, command.exchange_id, destination)
+            return self._txn_reply(message, kind)
+
+        if self.channel is not None:
+            # Participant operations are idempotent on the server side
+            # (prepare re-entry is a no-op, commit/rollback replays are
+            # answered from the decision log), so retrying them is safe.
+            return self.channel.exchange(
+                destination, build, parse, retry_safe=True,
+                deadline=self.deadline, events=self.events)
+        raw = self.transport.exchange(ExchangeSpec(
+            destination, build_txn_command(command), retry_safe=True))
+        return self._txn_reply(self._decode(raw, None, destination), kind)
+
+    @staticmethod
+    def _txn_reply(message, kind: str) -> TxnResult:
         if isinstance(message, TxnResult):
+            if message.kind != kind:
+                raise XRPCFault(
+                    "env:Receiver",
+                    f"txn reply answers {message.kind!r}, expected {kind!r}")
             return message
-        if isinstance(message, XRPCFault):
-            raise message
-        from repro.soap.messages import XRPCFaultMessage
         if isinstance(message, XRPCFaultMessage):
             return TxnResult(kind=kind, ok=False, detail=message.reason)
         raise XRPCFault("env:Receiver", "unexpected reply to txn command")

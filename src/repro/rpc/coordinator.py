@@ -15,9 +15,11 @@ that exercise failure paths (participant votes no, late commit, ...).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
-from repro.errors import TransactionError
-from repro.net.transport import Transport
+from repro.errors import TransactionError, TransportError
+from repro.net.retry import ResilientChannel
+from repro.net.transport import ExchangeSpec, Transport
 from repro.soap.messages import QueryID, TxnCommand, TxnResult, \
     build_txn_command, parse_message
 
@@ -32,11 +34,32 @@ class TransactionOutcome:
 class TransactionCoordinator:
     """Drives 2PC for one distributed transaction (one queryID)."""
 
-    def __init__(self, transport: Transport, query_id: QueryID) -> None:
+    def __init__(self, transport: Transport, query_id: QueryID,
+                 channel: Optional[ResilientChannel] = None) -> None:
         self.transport = transport
         self.query_id = query_id
+        self.channel = channel
         self._participants: list[str] = []
         self.state = "active"  # active | prepared | committed | aborted
+
+    @classmethod
+    def resume(cls, transport: Transport, query_id: QueryID,
+               participants: list[str],
+               channel: Optional[ResilientChannel] = None,
+               ) -> "TransactionCoordinator":
+        """Rebuild a coordinator from its durable record after a crash.
+
+        A real implementation reads the participant list and the
+        prepared mark from the coordinator's stable log; tests hand them
+        in directly.  The resumed coordinator starts ``prepared``, so
+        the only legal moves are replaying the decision: ``commit`` or
+        ``rollback`` — both answered idempotently by participants'
+        decision logs.
+        """
+        coordinator = cls(transport, query_id, channel=channel)
+        coordinator._participants = list(participants)
+        coordinator.state = "prepared"
+        return coordinator
 
     def register(self, participant: str) -> None:
         """WS-Coordination registration of a participating peer."""
@@ -51,24 +74,46 @@ class TransactionCoordinator:
         return list(self._participants)
 
     def _send(self, destination: str, kind: str) -> TxnResult:
+        """One participant operation; these are idempotent server-side,
+        so the resilient channel (when attached) may retry freely."""
         payload = build_txn_command(TxnCommand(kind, self.query_id))
-        reply = parse_message(self.transport.send(destination, payload))
+        if self.channel is not None:
+            return self.channel.exchange(
+                destination,
+                build=lambda attempt, remaining: payload,
+                parse=lambda raw: self._decode(destination, kind, raw),
+                retry_safe=True)
+        raw = self.transport.exchange(
+            ExchangeSpec(destination, payload, retry_safe=True))
+        return self._decode(destination, kind, raw)
+
+    @staticmethod
+    def _decode(destination: str, kind: str, raw: str) -> TxnResult:
+        reply = parse_message(raw)
         if not isinstance(reply, TxnResult):
             raise TransactionError(
                 f"unexpected reply from {destination} to {kind}")
         return reply
 
     def prepare(self) -> TransactionOutcome:
-        """Phase 1: collect votes; abort everyone on the first 'no'."""
+        """Phase 1: collect votes; abort everyone on the first 'no'.
+
+        An unreachable participant counts as a 'no' vote (presumed
+        abort): everyone already prepared is rolled back best-effort.
+        """
         outcome = TransactionOutcome(committed=False)
         prepared: list[str] = []
         for participant in self._participants:
-            vote = self._send(participant, "prepare")
+            try:
+                vote = self._send(participant, "prepare")
+            except TransportError as exc:
+                vote = TxnResult(kind="prepare", ok=False,
+                                 detail=f"unreachable: {exc}")
             outcome.votes[participant] = vote.ok
             if not vote.ok:
                 outcome.detail = vote.detail
                 for already in prepared:
-                    self._send(already, "rollback")
+                    self._try_rollback(already)
                 self.state = "aborted"
                 return outcome
             prepared.append(participant)
@@ -76,24 +121,50 @@ class TransactionCoordinator:
         return outcome
 
     def commit(self) -> TransactionOutcome:
-        """Phase 2: commit everyone (requires a successful prepare)."""
+        """Phase 2: commit everyone (requires a successful prepare).
+
+        Once prepared, commit is the decision: an unreachable
+        participant leaves the coordinator ``prepared`` so the decision
+        can be replayed on reconnect (participants answer replays from
+        their decision logs).
+        """
         if self.state != "prepared":
             raise TransactionError(
                 f"commit requires prepared state, not {self.state!r}")
         outcome = TransactionOutcome(committed=True)
+        unreachable = False
         for participant in self._participants:
-            ack = self._send(participant, "commit")
+            try:
+                ack = self._send(participant, "commit")
+            except TransportError as exc:
+                unreachable = True
+                outcome.votes[participant] = False
+                outcome.committed = False
+                outcome.detail = f"{participant} unreachable: {exc}"
+                continue
             outcome.votes[participant] = ack.ok
             if not ack.ok:
                 outcome.committed = False
                 outcome.detail = ack.detail
-        self.state = "committed" if outcome.committed else "aborted"
+        if outcome.committed:
+            self.state = "committed"
+        elif unreachable:
+            self.state = "prepared"  # decision stands: replay later
+        else:
+            self.state = "aborted"
         return outcome
 
     def rollback(self) -> None:
         for participant in self._participants:
-            self._send(participant, "rollback")
+            self._try_rollback(participant)
         self.state = "aborted"
+
+    def _try_rollback(self, participant: str) -> None:
+        """Best-effort abort; an unreachable peer expires on its own."""
+        try:
+            self._send(participant, "rollback")
+        except TransportError:
+            pass
 
     def run(self) -> TransactionOutcome:
         """Full 2PC: prepare then commit, rollback on any 'no' vote."""

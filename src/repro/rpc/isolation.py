@@ -59,6 +59,13 @@ class IsolationManager:
         self._active: dict[tuple[str, float], _QueryState] = {}
         # host -> latest expired timestamp (paper: per-host administration).
         self._expired: dict[str, float] = {}
+        # queryID key -> terminal decision ("committed" | "aborted").
+        # A coordinator that lost our acknowledgement (crash, dropped
+        # response) replays its decision on reconnect; answering from
+        # this log keeps commit/rollback idempotent instead of faulting
+        # on the second delivery — the 2PC equivalent of the client's
+        # retry-safe exchanges.
+        self._decisions: dict[tuple[str, float], str] = {}
         self.log = TransactionLog()
 
     # -- snapshot lifecycle --------------------------------------------------
@@ -138,6 +145,7 @@ class IsolationManager:
         conflicts = state.snapshot.has_conflicts(touched)
         if conflicts:
             state.state = "aborted"
+            self._decisions[query_id.key] = "aborted"
             del self._active[query_id.key]
             raise TransactionError(
                 f"prepare failed: conflicting commits on {conflicts}")
@@ -146,7 +154,17 @@ class IsolationManager:
 
     def commit(self, query_id: QueryID) -> None:
         """applyUpdates(Δ^px_q) and install the new database state."""
-        state = self._state(query_id)
+        key = query_id.key
+        if key not in self._active:
+            decision = self._decisions.get(key)
+            if decision == "committed":
+                return  # decision replay: already applied, re-acknowledge
+            if decision == "aborted":
+                raise TransactionError(
+                    f"queryID {key} was already rolled back")
+            raise IsolationError(
+                f"no active isolation state for queryID {key}")
+        state = self._active[key]
         if state.state not in ("active", "prepared"):
             raise TransactionError(
                 f"cannot commit from state {state.state!r}")
@@ -154,15 +172,24 @@ class IsolationManager:
         apply_updates(state.pul)
         state.snapshot.commit_into_store(touched)
         state.state = "committed"
-        self.log.log("commit", query_id.key)
-        del self._active[query_id.key]
+        self.log.log("commit", key)
+        self._decisions[key] = "committed"
+        del self._active[key]
 
     def rollback(self, query_id: QueryID) -> None:
         key = query_id.key
         if key in self._active:
             self._active[key].state = "aborted"
             self.log.log("rollback", key)
+            self._decisions[key] = "aborted"
             del self._active[key]
+        elif self._decisions.get(key) == "committed":
+            raise TransactionError(
+                f"queryID {key} was already committed")
+        elif key not in self._decisions:
+            # Abort of a never-seen (or expired) queryID: record the
+            # decision so a later replayed commit is refused.
+            self._decisions[key] = "aborted"
 
     def finish_read_only(self, query_id: QueryID) -> None:
         """Release the snapshot of a completed read-only query."""

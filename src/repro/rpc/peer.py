@@ -18,15 +18,19 @@ Originating side highlights:
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.engine import Engine, MonetEngine
 from repro.engine.base import Explain
-from repro.errors import DynamicError, TransactionError, XRPCFault
+from repro.errors import (DynamicError, TransactionError, TransportError,
+                          XRPCFault)
 from repro.net.clock import WallClock
 from repro.net.cost import PeerCostModel
+from repro.net.retry import (NET_STATS, BreakerRegistry, Deadline, NetEvents,
+                             ResilientChannel, RetryPolicy)
 from repro.net.transport import Transport, normalize_peer_uri
 from repro.rpc.client import ClientSession
 from repro.rpc.isolation import IsolationManager
@@ -73,6 +77,17 @@ class QueryResult:
     reencodes_subtree: int = 0
     gap_respreads: int = 0
     index_patches: int = 0
+    # Fault-tolerance outcome: peers skipped under the partial-results
+    # policy (``on_peer_failure="degrade"``) and this query's share of
+    # the net-layer event counters (from its NetEvents sink).
+    degraded: bool = False
+    failed_peers: list[str] = field(default_factory=list)
+    net_retries: int = 0
+    net_giveups: int = 0
+    net_breaker_opens: int = 0
+    net_breaker_fast_fails: int = 0
+    net_deadline_expired: int = 0
+    net_degraded_peers: int = 0
 
     def explain(self) -> Explain:
         """Plan telemetry in the session API's :class:`Explain` shape."""
@@ -87,6 +102,12 @@ class QueryResult:
             reencodes_subtree=self.reencodes_subtree,
             gap_respreads=self.gap_respreads,
             index_patches=self.index_patches,
+            net_retries=self.net_retries,
+            net_giveups=self.net_giveups,
+            net_breaker_opens=self.net_breaker_opens,
+            net_breaker_fast_fails=self.net_breaker_fast_fails,
+            net_deadline_expired=self.net_deadline_expired,
+            net_degraded_peers=self.net_degraded_peers,
         )
 
 
@@ -97,6 +118,9 @@ class DistributedSearchResult:
     hits: list
     messages_sent: int
     peers: list[str] = field(default_factory=list)
+    # Partial-results outcome under ``on_peer_failure="degrade"``.
+    degraded: bool = False
+    failed_peers: list[str] = field(default_factory=list)
 
 
 class XRPCPeer:
@@ -108,6 +132,8 @@ class XRPCPeer:
         transport: Transport,
         engine: Optional[Engine] = None,
         cost_model: Optional[PeerCostModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breakers: Optional[BreakerRegistry] = None,
     ) -> None:
         self.host = normalize_peer_uri(host)
         self.transport = transport
@@ -116,6 +142,13 @@ class XRPCPeer:
         self.store = DocumentStore()
         self.clock = getattr(transport, "clock", None) or WallClock()
         self.cost_model = cost_model
+        # Every exchange this peer originates (including nested calls
+        # made while serving) runs through one resilience channel, so
+        # breaker state about a destination is shared peer-wide.
+        self.breakers = breakers or BreakerRegistry()
+        self.channel = ResilientChannel(
+            transport, policy=retry_policy, breakers=self.breakers,
+            clock=self.clock)
         self.isolation = IsolationManager(self.store, self.clock)
         self.server = XRPCServer(self)
         self.evaluator = Evaluator()
@@ -239,7 +272,9 @@ class XRPCPeer:
     def execute_query(self, source: str,
                       variables: Optional[dict[str, list]] = None,
                       force_one_at_a_time: bool = False,
-                      try_lifted: bool = True) -> QueryResult:
+                      try_lifted: bool = True,
+                      timeout: Optional[float] = None,
+                      on_peer_failure: str = "fail") -> QueryResult:
         """Compile and run a query at this peer (the p0 role).
 
         This is the peer face of the unified session API: the compiled
@@ -251,6 +286,17 @@ class XRPCPeer:
         executor.  Plan choice and fallback reason are recorded on the
         returned :class:`QueryResult` (see :meth:`QueryResult.explain`).
 
+        Fault tolerance: ``declare option xrpc:timeout "N"`` (or an
+        explicit ``timeout=`` argument, which wins) sets a whole-query
+        deadline budget in seconds; its remaining balance rides every
+        exchange as the socket timeout and a SOAP header, so remote
+        peers abandon doomed bulk work too.
+        ``on_peer_failure="degrade"`` turns terminal transport failures
+        of *read-only* bulk groups into partial results — the answer
+        merges what reachable peers returned, ``QueryResult.degraded``
+        is set and ``failed_peers`` names the skipped sites.  Updating
+        groups (and 2PC) always fail closed regardless.
+
         The lifted plan ships one message per (call site, destination)
         *during* evaluation; two query shapes therefore route straight
         to the batching executor: several ``execute at`` sites (its
@@ -259,20 +305,38 @@ class XRPCPeer:
         a dynamic lifted bail can never apply an update twice).
         ``try_lifted=False`` forces the interpreter path outright.
         """
+        if on_peer_failure not in ("fail", "degrade"):
+            raise ValueError(
+                f"on_peer_failure must be 'fail' or 'degrade', "
+                f"not {on_peer_failure!r}")
         compiled, compile_seconds, cache_hit = \
             self.engine.compile_with_stats(source)
 
         isolation = compiled.options.get("xrpc:isolation", "none")
-        timeout = int(compiled.options.get("xrpc:timeout", "60"))
+        option_timeout = compiled.options.get("xrpc:timeout")
+        # The isolation lease rides the same budget, rounded up to whole
+        # seconds (fractional budgets are legal: `xrpc:timeout "1.5"`).
+        iso_timeout = (max(1, math.ceil(float(option_timeout)))
+                       if option_timeout is not None else 60)
         query_id = None
         if isolation == "repeatable":
             query_id = QueryID(host=self.host, timestamp=self.clock.now(),
-                               timeout=timeout)
+                               timeout=iso_timeout)
+        # The query's deadline budget: only armed when asked for (the
+        # explicit argument wins over the query's own option) — without
+        # one, exchanges carry no deadline header and never expire.
+        deadline = None
+        if timeout is not None:
+            deadline = Deadline.after(timeout, self.clock)
+        elif option_timeout is not None:
+            deadline = Deadline.after(float(option_timeout), self.clock)
 
         from repro.xdm.structural import ENCODING_STATS
 
+        events = NetEvents()
         session = ClientSession(self.transport, origin=self.host,
-                                query_id=query_id)
+                                query_id=query_id, channel=self.channel,
+                                deadline=deadline, events=events)
         started = self.clock.now()
         encoding_before = ENCODING_STATS.snapshot_local()
 
@@ -311,7 +375,9 @@ class XRPCPeer:
                     plan = "lifted"
         if plan != "lifted":
             if use_bulk:
-                result, pul = self._execute_bulk(compiled, session, context)
+                result, pul = self._execute_bulk(
+                    compiled, session, context,
+                    on_peer_failure=on_peer_failure)
             else:
                 result, pul = self._execute_direct(compiled, session, context)
         self.engine.record_plan(plan, fallback_reason, fallback_code)
@@ -347,10 +413,21 @@ class XRPCPeer:
             - encoding_before["gap_respreads"],
             index_patches=encoding_after["index_patches"]
             - encoding_before["index_patches"],
+            degraded=bool(events.failed_peers),
+            failed_peers=list(events.failed_peers),
+            net_retries=events.get("retries"),
+            net_giveups=events.get("retry_giveups"),
+            net_breaker_opens=events.get("breaker_opens"),
+            net_breaker_fast_fails=events.get("breaker_fast_fails"),
+            net_deadline_expired=events.get("deadline_expired"),
+            net_degraded_peers=events.get("degraded_peers"),
         )
 
     def keyword_search(self, terms, peers: Optional[list[str]] = None,
-                       ranked: bool = False) -> "DistributedSearchResult":
+                       ranked: bool = False,
+                       on_peer_failure: str = "fail",
+                       timeout: Optional[float] = None,
+                       ) -> "DistributedSearchResult":
         """Distributed keyword search: one bulk message per site.
 
         *terms* (a string or iterable of strings) is shipped to every
@@ -365,21 +442,39 @@ class XRPCPeer:
         site (each site's hits arrive doc-ordered by construction).
         ``ranked=True`` re-sorts the merged list by descending
         term-frequency score (stable, so ties keep the site/doc order).
+
+        Keyword search is read-only, so fan-out failures are retried and
+        — with ``on_peer_failure="degrade"`` — a peer that stays
+        unreachable is skipped: the merge covers the reachable sites and
+        the result reports ``degraded=True`` with the ``failed_peers``
+        list.  The default (``"fail"``) raises on the first terminal
+        transport failure.  ``timeout`` bounds the whole fan-out.
         """
         from repro.search.index import SearchHit, keyword_search
         from repro.xdm.atomic import string as make_string
 
+        if on_peer_failure not in ("fail", "degrade"):
+            raise ValueError(
+                f"on_peer_failure must be 'fail' or 'degrade', "
+                f"not {on_peer_failure!r}")
+        degrade = on_peer_failure == "degrade"
         if isinstance(terms, str):
             terms = [terms]
         else:
             terms = list(terms)
         peers = [normalize_peer_uri(peer) for peer in (peers or [])]
-        session = ClientSession(self.transport, origin=self.host)
+        events = NetEvents()
+        deadline = None if timeout is None else \
+            Deadline.after(timeout, self.clock)
+        session = ClientSession(self.transport, origin=self.host,
+                                channel=self.channel, deadline=deadline,
+                                events=events)
         term_args = [[make_string(term) for term in terms]]
         requests = [
             (peer, _SYS_NS, None, "kw-search", 1, [term_args], False)
             for peer in peers if peer != self.host]
-        responses = session.call_parallel(requests) if requests else []
+        responses = session.call_parallel(
+            requests, capture_transport_errors=degrade) if requests else []
         hits: list = []
         remote = iter(responses)
         for peer in peers:
@@ -388,7 +483,11 @@ class XRPCPeer:
                     for hit in keyword_search(self.store.get(uri), terms):
                         hits.append(replace(hit, uri=uri))
                 continue
-            [result] = next(remote)
+            response = next(remote)
+            if isinstance(response, TransportError):
+                self._register_degraded(events, peer)
+                continue
+            [result] = response
             for wrapper in result:
                 attrs = {attr.name: attr.value for attr in wrapper.attributes}
                 payload = [child for child in wrapper.children][0]
@@ -400,7 +499,9 @@ class XRPCPeer:
         return DistributedSearchResult(
             hits=hits,
             messages_sent=session.messages_sent,
-            peers=peers)
+            peers=peers,
+            degraded=bool(events.failed_peers),
+            failed_peers=list(events.failed_peers))
 
     def _make_execution_context(self, session: ClientSession, variables,
                                 try_lifted: bool) -> ExecutionContext:
@@ -422,6 +523,7 @@ class XRPCPeer:
             optimize_joins=self.engine.optimize_flwor_joins,
             try_lifted=try_lifted,
             apply_updates=False,  # the peer applies after (optional) 2PC
+            deadline=session.deadline,
         )
 
     def _session_dispatch(self, session: ClientSession):
@@ -448,8 +550,23 @@ class XRPCPeer:
 
     # -- Bulk RPC via loop-lifted batching ---------------------------------
 
+    def _register_degraded(self, events: NetEvents, destination: str) -> None:
+        """Count one peer skipped under the partial-results policy.
+
+        Idempotent per peer and execution: a site that fails several
+        bulk groups is one degraded peer, not several.
+        """
+        key = normalize_peer_uri(destination)
+        if key in events.degraded_counted:
+            return
+        events.degraded_counted.add(key)
+        events.peer_failed(key)
+        events.note("degraded_peers")
+        NET_STATS.bump("degraded_peers")
+
     def _execute_bulk(self, compiled: CompiledQuery, session: ClientSession,
                       context: ExecutionContext,
+                      on_peer_failure: str = "fail",
                       ) -> tuple[list, PendingUpdateList]:
         """Two-phase batched execution realising Bulk RPC.
 
@@ -499,10 +616,22 @@ class XRPCPeer:
              [args for args, _ in group.entries], key[4])
             for key, group in shippable.items()
         ]
-        responses = session.call_parallel(requests, tolerate_faults=True)
+        degrade = on_peer_failure == "degrade"
+        responses = session.call_parallel(requests, tolerate_faults=True,
+                                          capture_transport_errors=degrade)
 
         replayer = _Replayer(session)
         for (key, group), results in zip(shippable.items(), responses):
+            if isinstance(results, TransportError):
+                # Terminal transport failure under the partial-results
+                # policy.  Updating groups always fail closed — a
+                # skipped update is a wrong answer, not a degraded one.
+                if key[4]:
+                    raise results
+                assert session.events is not None
+                self._register_degraded(session.events, key[0])
+                replayer.mark_failed(key[0])
+                continue
             if results is None:
                 continue  # faulted speculative group: re-send directly
             replayer.load(key, group, results)
@@ -519,25 +648,56 @@ class XRPCPeer:
 
         The originating peer plays the WS-Coordinator role (section 2.3):
         it knows the full participant list from response piggybacks.
+
+        Fault handling follows the presumed-abort discipline: an
+        unreachable participant during prepare counts as a 'no' vote and
+        every prepared peer is rolled back (best effort — an
+        unreachable one will expire its snapshot and abort locally).
+        2PC never degrades: any failure here raises.
         """
         participants = list(session.participants)
         prepared: list[str] = []
         for participant in participants:
-            vote = session.send_txn_command(participant, "prepare")
+            try:
+                vote = session.send_txn_command(participant, "prepare")
+            except TransportError as exc:
+                self._abort_prepared(session, prepared)
+                raise TransactionError(
+                    f"participant {participant} unreachable at prepare: "
+                    f"{exc}") from exc
             if not vote.ok:
-                for already in prepared:
-                    session.send_txn_command(already, "rollback")
-                session.send_txn_command(participant, "rollback")
+                self._abort_prepared(session, prepared + [participant])
                 raise TransactionError(
                     f"participant {participant} voted no at prepare: "
                     f"{vote.detail}")
             prepared.append(participant)
         for participant in participants:
-            ack = session.send_txn_command(participant, "commit")
+            try:
+                ack = session.send_txn_command(participant, "commit")
+            except TransportError as exc:
+                # The global decision is commit and the participant's
+                # decision log answers replays — re-delivery on
+                # reconnect completes it — but *this* query cannot
+                # claim a full commit.
+                raise TransactionError(
+                    f"participant {participant} unreachable at commit "
+                    f"(decision logged; replay the commit on reconnect): "
+                    f"{exc}") from exc
             if not ack.ok:
                 raise TransactionError(
                     f"participant {participant} failed at commit: {ack.detail}")
         return True
+
+    @staticmethod
+    def _abort_prepared(session: ClientSession,
+                        participants: list[str]) -> None:
+        """Best-effort rollback fan-out; unreachable peers abort on
+        their own when the queryID's snapshot expires."""
+        for participant in participants:
+            try:
+                session.send_txn_command(participant, "rollback")
+            except TransportError:
+                pass
 
 
 # ---------------------------------------------------------------------------
@@ -598,11 +758,18 @@ class _Replayer:
     def __init__(self, session: ClientSession) -> None:
         self.session = session
         self._results: dict[_GroupKey, dict[str, deque]] = {}
+        # Destinations degraded by the partial-results policy: replayed
+        # read-only calls to them answer empty instead of re-dialling a
+        # peer already judged unreachable.
+        self._failed: set[str] = set()
 
     def load(self, key: _GroupKey, group: _CallGroup, results: list) -> None:
         by_fingerprint = self._results.setdefault(key, {})
         for (_, fingerprint), result in zip(group.entries, results):
             by_fingerprint.setdefault(fingerprint, deque()).append(result)
+
+    def mark_failed(self, destination: str) -> None:
+        self._failed.add(normalize_peer_uri(destination))
 
     def handle(self, call: RemoteCall) -> list:
         by_fingerprint = self._results.get(_group_key(call))
@@ -610,6 +777,9 @@ class _Replayer:
             queue = by_fingerprint.get(marshal_fingerprint(call.args))
             if queue:
                 return queue.popleft()
+        if not call.updating \
+                and normalize_peer_uri(call.destination) in self._failed:
+            return []
         # Dependent call: its arguments match nothing phase 1 recorded
         # for this group (they depended on another call's placeholder
         # result). Ship it directly — the authoritative attempt.

@@ -69,6 +69,10 @@ class XRPCServer:
             message = parse_message(payload)
         except XRPCReproError as exc:
             return build_fault("env:Sender", str(exc))
+        # Echo the attempt's correlation id on every reply — including
+        # faults — so a retrying client can tell this answer from a
+        # stale duplicated one.
+        exchange_id = message.exchange_id
         try:
             if isinstance(message, XRPCRequest):
                 response = self._handle_request(message)
@@ -76,13 +80,14 @@ class XRPCServer:
                 response = self._handle_txn_command(message)
             else:
                 return build_fault("env:Sender",
-                                   "peer expects requests or txn commands")
+                                   "peer expects requests or txn commands",
+                                   exchange_id)
         except XRPCFault as fault:
-            return build_fault(fault.fault_code, fault.reason)
+            return build_fault(fault.fault_code, fault.reason, exchange_id)
         except XQueryError as exc:
-            return build_fault("env:Sender", str(exc))
+            return build_fault("env:Sender", str(exc), exchange_id)
         except XRPCReproError as exc:
-            return build_fault("env:Receiver", str(exc))
+            return build_fault("env:Receiver", str(exc), exchange_id)
         if cost is not None:
             self.peer.clock.advance(
                 len(response.encode("utf-8")) * cost.serialize_seconds_per_byte)
@@ -120,15 +125,33 @@ class XRPCServer:
         else:
             doc_view = peer.store
 
+        # The originator's remaining deadline budget (SOAP header)
+        # rebuilt against this peer's local clock: doomed bulk work is
+        # abandoned between calls instead of burning the whole budget.
+        deadline = None
+        if request.deadline_remaining is not None:
+            from repro.net.retry import Deadline
+            deadline = Deadline.after(request.deadline_remaining, peer.clock)
+
         # Nested calls run through a fresh client session that shares the
-        # incoming queryID, so isolation propagates transitively.
+        # incoming queryID — so isolation propagates transitively — and
+        # the (shrunken) deadline plus the peer's resilience channel.
         from repro.rpc.client import ClientSession
         nested_session = ClientSession(
-            peer.transport, origin=peer.host, query_id=request.query_id)
+            peer.transport, origin=peer.host, query_id=request.query_id,
+            channel=peer.channel, deadline=deadline)
 
         results: list[list] = []
         collected_pul = PendingUpdateList()
         for params in request.calls:
+            if deadline is not None and deadline.expired():
+                from repro.net.retry import NET_STATS
+                NET_STATS.bump("deadline_expired")
+                raise XRPCFault(
+                    "env:Receiver",
+                    f"deadline expired at {peer.host} with "
+                    f"{len(request.calls) - len(results)} of "
+                    f"{len(request.calls)} bulk calls left")
             with self._stats_lock:
                 self.calls_handled += 1
             if peer.cost_model is not None:
@@ -156,7 +179,8 @@ class XRPCServer:
                             peer.store.bump_version(uri)
 
         response = XRPCResponse(
-            module=request.module, method=request.method, results=results)
+            module=request.module, method=request.method, results=results,
+            exchange_id=request.exchange_id)
         response.participating_peers = [peer.host] + nested_session.participants
         return build_response(response)
 
@@ -172,10 +196,13 @@ class XRPCServer:
                     peer.isolation.commit(command.query_id)
                 else:
                     peer.isolation.rollback(command.query_id)
-            return build_txn_result(TxnResult(kind=command.kind, ok=True))
+            return build_txn_result(TxnResult(
+                kind=command.kind, ok=True,
+                exchange_id=command.exchange_id))
         except XRPCReproError as exc:
-            return build_txn_result(
-                TxnResult(kind=command.kind, ok=False, detail=str(exc)))
+            return build_txn_result(TxnResult(
+                kind=command.kind, ok=False, detail=str(exc),
+                exchange_id=command.exchange_id))
 
 
 def _touched_uris(pul: PendingUpdateList) -> list[str]:

@@ -139,6 +139,19 @@ class DatabaseStats:
     postings_patched: int = 0
     search_queries: int = 0
     postings_hits: int = 0
+    #: Fault-tolerance telemetry (process-wide
+    #: :data:`~repro.net.retry.NET_STATS` totals): transport attempts,
+    #: retries and give-ups, circuit-breaker transitions and fast-fails,
+    #: deadline expiries, peers skipped by the partial-results policy,
+    #: and faults the chaos harness injected.
+    net_exchanges: int = 0
+    net_retries: int = 0
+    net_retry_giveups: int = 0
+    net_breaker_opens: int = 0
+    net_breaker_fast_fails: int = 0
+    net_deadline_expired: int = 0
+    net_degraded_peers: int = 0
+    net_faults_injected: int = 0
 
 
 class PreparedQuery:
@@ -178,17 +191,36 @@ class PreparedQuery:
     # -- execution ---------------------------------------------------------
 
     def execute(self, *, variables: Optional[dict] = None,
-                context_item=None, **bindings) -> list:
+                context_item=None, timeout: Optional[float] = None,
+                **bindings) -> list:
         """Run the query; returns the full XDM result sequence.
 
         Variables come from ``variables`` (a name → value dict) and/or
         keyword ``bindings``; plain Python values are coerced through
         :func:`to_sequence`.  Updating queries apply their pending
         update list to the database's documents before returning.
+
+        ``timeout`` arms a wall-clock deadline budget on the execution
+        context.  A local database enforces it coarsely — the run is
+        failed with :class:`~repro.errors.DeadlineExceeded` if the
+        budget is exhausted when it returns; fine-grained enforcement
+        (per-exchange socket timeouts, remote abandonment) lives in the
+        distributed :class:`~repro.rpc.peer.XRPCPeer` path.
         """
         context = self.database._make_context(variables, bindings,
                                               context_item)
+        if timeout is not None:
+            from repro.net.clock import WallClock
+            from repro.net.retry import Deadline
+            context = dataclasses.replace(
+                context, deadline=Deadline.after(timeout, WallClock()))
         result, _ = self._run(context)
+        if context.deadline is not None and context.deadline.expired():
+            from repro.errors import DeadlineExceeded
+            from repro.net.retry import NET_STATS
+            NET_STATS.bump("deadline_expired")
+            raise DeadlineExceeded(
+                f"query exceeded its {timeout:.3g}s deadline budget")
         return result
 
     def run(self, context: ExecutionContext) -> list:
@@ -287,11 +319,13 @@ class Database:
         return PreparedQuery(self, source)
 
     def execute(self, source: str, *, variables: Optional[dict] = None,
-                context_item=None, **bindings) -> list:
+                context_item=None, timeout: Optional[float] = None,
+                **bindings) -> list:
         """One-shot convenience: prepare (through the plan cache) and
         execute."""
         return self.prepare(source).execute(
-            variables=variables, context_item=context_item, **bindings)
+            variables=variables, context_item=context_item,
+            timeout=timeout, **bindings)
 
     def iter(self, source: str, *, variables: Optional[dict] = None,
              context_item=None, **bindings) -> Iterator:
@@ -306,7 +340,8 @@ class Database:
     # -- keyword search -----------------------------------------------------
 
     def search(self, terms, *, uri: Optional[str] = None,
-               limit: Optional[int] = None, ranked: bool = False) -> list:
+               limit: Optional[int] = None, ranked: bool = False,
+               on_peer_failure: str = "fail") -> list:
         """SLCA keyword search over registered documents.
 
         *terms* is a string or an iterable of strings; each is tokenized
@@ -324,11 +359,20 @@ class Database:
         re-sorts by descending score (stable, so ties keep that order).
         ``uri`` restricts the search to one document; ``limit`` caps the
         returned list after ordering.
+
+        ``on_peer_failure`` mirrors
+        :meth:`~repro.rpc.peer.XRPCPeer.keyword_search` for API symmetry
+        — a local database holds every document itself, so there is no
+        peer to skip and ``"degrade"`` never drops results here.
         """
         import dataclasses as _dataclasses
 
         from repro.search.index import keyword_search
 
+        if on_peer_failure not in ("fail", "degrade"):
+            raise ValueError(
+                f"on_peer_failure must be 'fail' or 'degrade', "
+                f"not {on_peer_failure!r}")
         if isinstance(terms, str):
             terms = [terms]
         else:
@@ -348,6 +392,7 @@ class Database:
         return hits
 
     def stats(self) -> DatabaseStats:
+        from repro.net.retry import NET_STATS
         from repro.search.stats import SEARCH_STATS
         from repro.xdm.structural import ENCODING_STATS
         from repro.xml.parser import default_backend
@@ -357,6 +402,7 @@ class Database:
         encoding = ENCODING_STATS.snapshot()
         parse = PARSE_STATS.snapshot()
         search = SEARCH_STATS.snapshot()
+        net = NET_STATS.snapshot()
         with self._stats_lock:
             return DatabaseStats(
                 plan_cache_hits=cache["plan_cache_hits"],
@@ -385,6 +431,14 @@ class Database:
                 postings_patched=search["postings_patched"],
                 search_queries=search["search_queries"],
                 postings_hits=search["postings_hits"],
+                net_exchanges=net["exchanges"],
+                net_retries=net["retries"],
+                net_retry_giveups=net["retry_giveups"],
+                net_breaker_opens=net["breaker_opens"],
+                net_breaker_fast_fails=net["breaker_fast_fails"],
+                net_deadline_expired=net["deadline_expired"],
+                net_degraded_peers=net["degraded_peers"],
+                net_faults_injected=net["faults_injected"],
             )
 
     # -- internals ---------------------------------------------------------

@@ -18,6 +18,17 @@ Message layout follows section 2.1 of the paper::
 Responses carry one ``xrpc:sequence`` per call and, as the section 2.3
 extension, an ``xrpc:participants`` element listing every peer touched
 while serving the request (needed by the 2PC coordinator registration).
+
+Fault-tolerance extension: when set, two optional elements ride in an
+``env:Header`` block (absent otherwise, keeping the wire byte-identical
+to the base protocol):
+
+* ``<xrpc:exchange id="..."/>`` — a per-*attempt* correlation id; the
+  server echoes it on the response/fault/txn-result so a client retry
+  can detect stale duplicated responses deterministically.
+* ``<xrpc:deadline remaining="..."/>`` — the query's remaining deadline
+  budget in seconds; the remote peer rebuilds a local deadline from it
+  and abandons work that cannot finish in time.
 """
 
 from __future__ import annotations
@@ -72,6 +83,8 @@ class XRPCRequest:
     calls: list[list[list]] = field(default_factory=list)
     query_id: Optional[QueryID] = None
     updating: bool = False
+    exchange_id: Optional[str] = None
+    deadline_remaining: Optional[float] = None
 
     def add_call(self, params: list[list]) -> None:
         if len(params) != self.arity:
@@ -91,12 +104,14 @@ class XRPCResponse:
     method: str
     results: list[list] = field(default_factory=list)
     participating_peers: list[str] = field(default_factory=list)
+    exchange_id: Optional[str] = None
 
 
 @dataclass
 class XRPCFaultMessage:
     fault_code: str
     reason: str
+    exchange_id: Optional[str] = None
 
     def raise_(self) -> None:
         raise XRPCFault(self.fault_code, self.reason)
@@ -112,6 +127,8 @@ class TxnCommand:
 
     kind: str
     query_id: QueryID
+    exchange_id: Optional[str] = None
+    deadline_remaining: Optional[float] = None
 
 
 @dataclass
@@ -121,6 +138,7 @@ class TxnResult:
     kind: str
     ok: bool
     detail: str = ""
+    exchange_id: Optional[str] = None
 
 
 Message = Union[XRPCRequest, XRPCResponse, XRPCFaultMessage,
@@ -131,14 +149,29 @@ Message = Union[XRPCRequest, XRPCResponse, XRPCFaultMessage,
 # Building
 
 
-def _begin_envelope() -> MarshalWriter:
-    """Open ``<env:Envelope><env:Body>`` on a fresh streaming writer."""
+def _begin_envelope(exchange_id: Optional[str] = None,
+                    deadline_remaining: Optional[float] = None
+                    ) -> MarshalWriter:
+    """Open ``<env:Envelope>[<env:Header>...]<env:Body>`` on a fresh
+    streaming writer.
+
+    The header block only exists when a fault-tolerance field is set, so
+    base-protocol messages stay byte-identical.
+    """
     writer = MarshalWriter()
     writer.prolog()
     writer.start(
         "env:Envelope",
         attributes=(("xsi:schemaLocation", f"{XRPC_NS} {XRPC_NS}/XRPC.xsd"),),
         declarations=_ENVELOPE_DECLARATIONS)
+    if exchange_id is not None or deadline_remaining is not None:
+        writer.start("env:Header")
+        if exchange_id is not None:
+            writer.element("xrpc:exchange", (("id", exchange_id),))
+        if deadline_remaining is not None:
+            writer.element("xrpc:deadline",
+                           (("remaining", repr(deadline_remaining)),))
+        writer.end()  # env:Header
     writer.start("env:Body")
     return writer
 
@@ -153,7 +186,7 @@ def _finish_envelope(writer: MarshalWriter) -> str:
 
 def build_request(request: XRPCRequest) -> str:
     """Serialize an :class:`XRPCRequest` to SOAP XML text (one pass)."""
-    writer = _begin_envelope()
+    writer = _begin_envelope(request.exchange_id, request.deadline_remaining)
     attributes = [
         ("module", request.module),
         ("method", request.method),
@@ -181,7 +214,7 @@ def build_request(request: XRPCRequest) -> str:
 
 def build_response(response: XRPCResponse) -> str:
     """Serialize an :class:`XRPCResponse` to SOAP XML text (one pass)."""
-    writer = _begin_envelope()
+    writer = _begin_envelope(response.exchange_id)
     writer.start("xrpc:response", (
         ("module", response.module),
         ("method", response.method),
@@ -197,9 +230,10 @@ def build_response(response: XRPCResponse) -> str:
     return _finish_envelope(writer)
 
 
-def build_fault(fault_code: str, reason: str) -> str:
+def build_fault(fault_code: str, reason: str,
+                exchange_id: Optional[str] = None) -> str:
     """Serialize a SOAP Fault (error message format of section 2.1)."""
-    writer = _begin_envelope()
+    writer = _begin_envelope(exchange_id)
     writer.start("env:Fault")
     writer.start("env:Code")
     writer.element("env:Value", (), fault_code)
@@ -213,7 +247,7 @@ def build_fault(fault_code: str, reason: str) -> str:
 
 def build_txn_command(command: TxnCommand) -> str:
     """Serialize a Prepare/Commit/Rollback message."""
-    writer = _begin_envelope()
+    writer = _begin_envelope(command.exchange_id, command.deadline_remaining)
     writer.element(f"xrpc:{command.kind}", (
         ("host", command.query_id.host),
         ("timestamp", repr(command.query_id.timestamp)),
@@ -224,7 +258,7 @@ def build_txn_command(command: TxnCommand) -> str:
 
 def build_txn_result(result: TxnResult) -> str:
     """Serialize a vote/acknowledgement for a transaction command."""
-    writer = _begin_envelope()
+    writer = _begin_envelope(result.exchange_id)
     attributes = [("kind", result.kind),
                   ("ok", "true" if result.ok else "false")]
     if result.detail:
@@ -251,12 +285,38 @@ def parse_message(text: Union[str, bytes],
     if envelope is None or envelope.local_name != "Envelope" \
             or envelope.ns_uri != ENV_NS:
         raise XRPCFault("env:Sender", "not a SOAP envelope")
+    exchange_id, deadline_remaining = _parse_header(envelope)
     body = envelope.find("Body", ENV_NS)
     if body is None:
         raise XRPCFault("env:Sender", "SOAP envelope without Body")
     payload = next(iter(body.child_elements()), None)
     if payload is None:
         raise XRPCFault("env:Sender", "empty SOAP Body")
+    message = _parse_body_element(payload)
+    message.exchange_id = exchange_id
+    if isinstance(message, (XRPCRequest, TxnCommand)):
+        message.deadline_remaining = deadline_remaining
+    return message
+
+
+def _parse_header(envelope: ElementNode
+                  ) -> tuple[Optional[str], Optional[float]]:
+    """Fault-tolerance fields from ``env:Header`` (both usually absent)."""
+    header = envelope.find("Header", ENV_NS)
+    if header is None:
+        return None, None
+    exchange_id: Optional[str] = None
+    deadline_remaining: Optional[float] = None
+    exchange = header.find("exchange", XRPC_NS)
+    if exchange is not None:
+        exchange_id = _required_attr(exchange, "id")
+    deadline = header.find("deadline", XRPC_NS)
+    if deadline is not None:
+        deadline_remaining = float(_required_attr(deadline, "remaining"))
+    return exchange_id, deadline_remaining
+
+
+def _parse_body_element(payload: ElementNode) -> Message:
     if payload.local_name == "request" and payload.ns_uri == XRPC_NS:
         return _parse_request_element(payload)
     if payload.local_name == "response" and payload.ns_uri == XRPC_NS:

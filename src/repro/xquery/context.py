@@ -94,6 +94,12 @@ class ExecutionContext:
     #: Apply a pending update list as soon as execution finishes (callers
     #: running 2PC flip this off and apply at commit).
     apply_updates: bool = True
+    #: The query's remaining-time budget (a
+    #: :class:`~repro.net.retry.Deadline`), set when the caller armed
+    #: ``xrpc:timeout``/``timeout=``; the RPC layer reads it to bound
+    #: every exchange, so it rides here purely for observability by
+    #: other execution hooks.
+    deadline: Any = None
     #: Re-encode only each update's splice region on the gapped
     #: order-key plane and patch the StructuralIndex in place (O(change)
     #: updates).  ``False`` restores the full-restamp baseline — the

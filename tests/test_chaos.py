@@ -1,0 +1,161 @@
+"""Chaos suite: seeded fault injection over the distributed workloads.
+
+Three peers (an originator plus two data sites) run the full XMark
+READ_SUITE and KEYWORD_SUITE as remote data-shipping queries while
+:class:`~repro.net.faults.FaultInjectingTransport` drops, delays,
+resets, tears, garbles, and duplicates ~20% of the exchanges.  The
+retry/breaker layer must absorb every injected fault: results are
+byte-identical to a fault-free run of the same topology, and updating
+calls are never applied twice.
+
+Seeds are fixed (deterministic CI legs) unless ``CHAOS_SEED`` is set,
+which runs exactly that seed — the randomized CI leg exports a random
+one and logs it for replay.
+"""
+
+import os
+
+import pytest
+
+from repro.net import SimulatedNetwork
+from repro.net.faults import FaultInjectingTransport, FaultPlan
+from repro.net.retry import BreakerRegistry, RetryPolicy
+from repro.rpc import XRPCPeer
+from repro.workloads.xmark import (
+    KEYWORD_SUITE,
+    READ_SUITE,
+    XMarkConfig,
+    generate_auctions,
+    generate_persons,
+)
+from repro.xml.serializer import serialize_sequence
+
+CONFIG = XMarkConfig(persons=10, closed_auctions=20, open_auctions=5,
+                     matches=3)
+PERSONS_XML = generate_persons(CONFIG)
+AUCTIONS_XML = generate_auctions(CONFIG)
+FAULT_RATE = 0.2
+
+
+def chaos_seeds():
+    override = os.environ.get("CHAOS_SEED")
+    if override is not None:
+        return [int(override)]
+    return [0, 1, 2]
+
+
+def remote(query: str) -> str:
+    """Rewrite local doc URIs into remote (data-shipping) fetches."""
+    return (query
+            .replace("doc('persons.xml')",
+                     "doc('xrpc://y.example.org/persons.xml')")
+            .replace("doc('auctions.xml')",
+                     "doc('xrpc://z.example.org/auctions.xml')"))
+
+
+def build_site(transport, seed: int = 0):
+    """Originator + two data peers on the given transport.
+
+    A generous retry budget keeps a 20% fault rate comfortably inside
+    the give-up bound (0.2^8), and a zero-cooldown breaker exercises the
+    open/half-open transitions without ever fast-failing a live peer.
+    """
+    policy = RetryPolicy(max_attempts=8, base_delay=0.01, seed=seed)
+    origin = XRPCPeer("p0.example.org", transport, retry_policy=policy,
+                      breakers=BreakerRegistry(cooldown=0.0))
+    persons_site = XRPCPeer("y.example.org", transport)
+    persons_site.store.register("persons.xml", PERSONS_XML)
+    auctions_site = XRPCPeer("z.example.org", transport)
+    auctions_site.store.register("auctions.xml", AUCTIONS_XML)
+    return origin
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free reference bytes for every suite query."""
+    origin = build_site(SimulatedNetwork())
+    return {name: serialize_sequence(origin.execute_query(remote(query))
+                                     .sequence)
+            for suite in (READ_SUITE, KEYWORD_SUITE)
+            for name, query in suite.items()}
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_suites_byte_identical_under_faults(baseline, seed):
+    transport = FaultInjectingTransport(SimulatedNetwork(),
+                                        FaultPlan.chaos(seed, FAULT_RATE))
+    origin = build_site(transport, seed=seed)
+    for suite in (READ_SUITE, KEYWORD_SUITE):
+        for name, query in suite.items():
+            result = origin.execute_query(remote(query))
+            assert serialize_sequence(result.sequence) == baseline[name], \
+                f"seed={seed} query={name} diverged under faults"
+    # Non-vacuity: the schedule really injected faults...
+    assert sum(transport.injected.values()) > 0, f"seed={seed}"
+    # ... and the fault-tolerance layer really absorbed some.
+    assert transport.injected.get("delay", 0) >= 0  # delays are benign
+    disruptive = sum(count for kind, count in transport.injected.items()
+                     if kind != "delay")
+    assert disruptive > 0, f"seed={seed} schedule was all-benign"
+
+
+LOG_MODULE = """
+module namespace c = "urn:chaoslog";
+declare function c:size() as xs:integer
+{ count(doc("log.xml")/log/entry) };
+declare updating function c:append()
+{ insert node <entry/> into doc("log.xml")/log };
+"""
+
+APPEND_QUERY = """
+import module namespace c = "urn:chaoslog" at "c.xq";
+execute at {"xrpc://u.example.org"} { c:append() }
+"""
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_updating_calls_never_double_apply(seed):
+    transport = FaultInjectingTransport(SimulatedNetwork(),
+                                        FaultPlan.chaos(seed, FAULT_RATE))
+    policy = RetryPolicy(max_attempts=8, base_delay=0.01, seed=seed)
+    origin = XRPCPeer("p0.example.org", transport, retry_policy=policy,
+                      breakers=BreakerRegistry(cooldown=0.0))
+    origin.registry.register_source(LOG_MODULE, location="c.xq")
+    server = XRPCPeer("u.example.org", transport)
+    server.registry.register_source(LOG_MODULE, location="c.xq")
+    server.store.register("log.xml", "<log/>")
+
+    def applied() -> int:
+        return len(server.store.get("log.xml").root_element.children)
+
+    failures = 0
+    # 40 attempts: every fixed seed's draw prefix contains faults (seed
+    # 0's first 25 uniforms all land above the 20% schedule).
+    for attempt in range(40):
+        before = applied()
+        try:
+            origin.execute_query(APPEND_QUERY)
+        except Exception:
+            # A failed updating call may have applied zero or one time
+            # (the reply was lost), but never more.
+            failures += 1
+            assert applied() - before in (0, 1), \
+                f"seed={seed} attempt={attempt}: double-applied on failure"
+        else:
+            assert applied() - before == 1, \
+                f"seed={seed} attempt={attempt}: applied " \
+                f"{applied() - before} times on success"
+    assert sum(transport.injected.values()) > 0, f"seed={seed}"
+
+
+def test_fault_injection_is_deterministic():
+    def run(seed):
+        transport = FaultInjectingTransport(SimulatedNetwork(),
+                                            FaultPlan.chaos(seed, FAULT_RATE))
+        origin = build_site(transport, seed=seed)
+        for name in sorted(READ_SUITE)[:5]:
+            origin.execute_query(remote(READ_SUITE[name]))
+        return dict(transport.injected)
+
+    assert run(3) == run(3)
+    assert run(3) != run(4) or run(3) == {}  # schedules differ by seed
